@@ -1,0 +1,186 @@
+"""Ablation experiments (A1–A4): the design choices DESIGN.md calls out.
+
+* **A1 — preemption thresholds** (§3.1.2's ``pt`` attribute): compare
+  context-switch counts and overhead time for a preemption-heavy
+  workload with and without threshold shielding.
+* **A2 — T_network priority** (§3.1: "task T_network [can] be assigned
+  ... the priority at which the protocol executes"): end-to-end
+  latency of a remote precedence constraint when the protocol task
+  runs above vs below a CPU-hogging application.
+* **A3 — checkpoint frequency** (passive replication): checkpoint
+  every request vs every 5: steady-state message overhead vs state
+  lost at failover.
+* **A4 — broadcast relaying**: with relays disabled, a single faulty
+  link breaks agreement; with relays, it does not (the diffusion step
+  is load-bearing).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import DispatcherCosts, EUAttributes, Periodic, Task
+from repro.core.tnetwork import install_tnetwork
+from repro.kernel import Node
+from repro.kernel.priorities import PRIO_MIN_APPL
+from repro.network import Network
+from repro.services import PassiveReplication
+from repro.services.broadcast import make_group
+from repro.sim import Simulator, Tracer
+from repro.system import HadesSystem
+
+
+# -- A1: preemption thresholds ------------------------------------------------
+
+def run_pt_ablation(use_thresholds):
+    system = HadesSystem(node_ids=["cpu"], costs=DispatcherCosts.zero(),
+                         context_switch_cost=5)
+    # One long background task, frequently interrupted by short tasks
+    # of slightly higher priority.
+    long_task = Task("long", node_id="cpu")
+    pt = 50 if use_thresholds else None
+    long_task.code_eu("work", wcet=20_000,
+                      attrs=EUAttributes(prio=10, pt=pt))
+    blip = Task("blip", deadline=100_000, arrival=Periodic(period=1_000),
+                node_id="cpu")
+    blip.code_eu("b", wcet=100, attrs=EUAttributes(prio=20))
+    system.activate(long_task)
+    system.register_periodic(blip, count=15)
+    system.run()
+    preemptions = system.tracer.count("cpu", "preempt")
+    cs_overhead = system.nodes["cpu"].cpu.busy_time.get("kernel", 0)
+    long_finish = system.dispatcher.instances_of("long")[0].finish_time
+    blip_worst = max(system.dispatcher.response_times("blip"))
+    return preemptions, cs_overhead, long_finish, blip_worst
+
+
+def test_a1_preemption_threshold(benchmark):
+    results = benchmark.pedantic(
+        lambda: {flag: run_pt_ablation(flag) for flag in (False, True)},
+        rounds=1, iterations=1)
+    rows = [("pt disabled", *results[False]), ("pt = 50", *results[True])]
+    print_table("A1 — preemption thresholds vs context-switch overhead",
+                ["config", "preemptions", "cs overhead (us)",
+                 "long finish", "blip worst resp"], rows)
+    no_pt, with_pt = results[False], results[True]
+    assert with_pt[0] < no_pt[0]      # fewer preemptions
+    assert with_pt[1] < no_pt[1]      # less switch overhead
+    assert with_pt[2] <= no_pt[2]     # the long task finishes earlier
+    # The price: blips wait out the long task entirely.
+    assert with_pt[3] > no_pt[3]
+
+
+# -- A2: T_network priority -----------------------------------------------------
+
+def run_tnetwork_ablation(priority):
+    system = HadesSystem(node_ids=["src", "dst"],
+                         costs=DispatcherCosts.zero(), network_latency=100)
+    install_tnetwork(system.nodes["src"],
+                     system.network.interfaces["src"],
+                     priority=priority, send_cost=50)
+    # A CPU hog on the source node competes with the protocol task.
+    hog = Task("hog", node_id="src")
+    hog.code_eu("spin", wcet=30_000, attrs=EUAttributes(prio=100))
+    dist = Task("dist", deadline=200_000, node_id="src")
+    a = dist.code_eu("a", wcet=10, attrs=EUAttributes(prio=200))
+    b = dist.code_eu("b", wcet=10, node_id="dst")
+    dist.precede(a, b)
+    system.activate(hog)
+    instance = system.activate(dist)
+    system.run()
+    return instance.response_time
+
+
+def test_a2_tnetwork_priority(benchmark):
+    high, low = benchmark.pedantic(
+        lambda: (run_tnetwork_ablation(priority=900),
+                 run_tnetwork_ablation(priority=PRIO_MIN_APPL)),
+        rounds=1, iterations=1)
+    print_table("A2 — T_network priority vs remote-precedence latency",
+                ["protocol priority", "end-to-end response (us)"],
+                [("above applications (900)", high),
+                 ("below applications (1)", low)])
+    # Below the hog, the protocol task waits out the 30 ms spin.
+    assert low > 30_000
+    assert high < 5_000
+
+
+# -- A3: checkpoint frequency ---------------------------------------------------
+
+def run_checkpoint_ablation(every):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, base_latency=200)
+    for node_id in ("client", "r1", "r2"):
+        net.add_node(Node(sim, node_id, tracer=tracer))
+    net.connect_all()
+    svc = PassiveReplication(net, "client", ["r1", "r2"],
+                             checkpoint_every=every)
+    # 13 requests: with checkpoint_every=5 the last 3 updates sit
+    # un-checkpointed when the primary dies.
+    for index in range(13):
+        sim.call_at(1_000 + index * 5_000, lambda: svc.submit(("add", "x", 1)))
+    sim.run(until=80_000)
+    checkpoint_msgs = sum(
+        1 for record in tracer.select("network", "deliver")
+        if record.details.get("kind") == "repl-passive")
+    backup_state = svc.machines["r2"].data.get("x", 0)
+    svc.mark_crash()
+    net.nodes["r1"].crash()
+    sim.run(until=400_000)
+    lost = 13 - backup_state
+    return checkpoint_msgs, backup_state, lost
+
+
+def test_a3_checkpoint_frequency(benchmark):
+    results = benchmark.pedantic(
+        lambda: {every: run_checkpoint_ablation(every)
+                 for every in (1, 5)},
+        rounds=1, iterations=1)
+    rows = [(f"every {every}", *values)
+            for every, values in results.items()]
+    print_table("A3 — passive replication checkpoint frequency",
+                ["checkpoint", "repl-passive msgs", "backup state at crash",
+                 "updates lost"], rows)
+    frequent, sparse = results[1], results[5]
+    assert frequent[0] > sparse[0]   # more traffic
+    assert frequent[2] < sparse[2]   # less state lost
+    assert frequent[2] == 0          # per-request checkpoints lose nothing
+    assert sparse[2] == 3            # the un-checkpointed tail
+
+
+# -- A4: broadcast relaying ------------------------------------------------------
+
+def run_relay_ablation(relay):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, base_latency=100)
+    group = ["n0", "n1", "n2", "n3"]
+    for node_id in group:
+        net.add_node(Node(sim, node_id, tracer=tracer))
+    net.connect_all()
+    net.link("n0", "n3").up = False  # one faulty direct link
+    endpoints = make_group(net, group, relay=relay)
+    delivered = {node_id: 0 for node_id in group}
+    for node_id, endpoint in endpoints.items():
+        endpoint.on_deliver(
+            lambda origin, payload, nid=node_id:
+            delivered.__setitem__(nid, delivered[nid] + 1))
+    for index in range(5):
+        sim.call_at(1_000 + index * 2_000,
+                    lambda i=index: endpoints["n0"].broadcast(i))
+    sim.run()
+    total_messages = sum(i.sent_count for i in net.interfaces.values())
+    return delivered["n3"], total_messages
+
+
+def test_a4_broadcast_relay(benchmark):
+    results = benchmark.pedantic(
+        lambda: {flag: run_relay_ablation(flag) for flag in (True, False)},
+        rounds=1, iterations=1)
+    rows = [("relay on", *results[True]), ("relay off", *results[False])]
+    print_table("A4 — diffusion relays under one dead link "
+                "(5 broadcasts, victim = n3)",
+                ["config", "delivered at n3", "total msgs"], rows)
+    assert results[True][0] == 5     # agreement survives the dead link
+    assert results[False][0] == 0    # without relays it does not
+    assert results[True][1] > results[False][1]  # redundancy costs msgs

@@ -1,0 +1,72 @@
+"""Experiment E6 — the clock-synchronisation service ([LL88], Fig. 1).
+
+Measures achieved precision (max pairwise skew among correct clocks)
+across drift magnitudes and fault scenarios — no faults, one crashed
+member, one Byzantine clock — and compares every measurement against
+the analytical bound.  Also reports the unsynchronised baseline, which
+diverges linearly with drift.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.kernel import ByzantineClock, HardwareClock, Node
+from repro.network import Network
+from repro.services import ClockSyncService, measure_skew
+from repro.sim import Simulator, Tracer
+
+GROUP = ["n0", "n1", "n2", "n3"]
+DRIFTS = {"n0": 80e-6, "n1": -60e-6, "n2": 30e-6, "n3": -90e-6}
+HORIZON = 5_000_000
+PERIOD = 400_000
+
+
+def build(byzantine=(), synced=True):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, base_latency=100, jitter_bound=40, seed=5)
+    for node_id in GROUP:
+        if node_id in byzantine:
+            clock = ByzantineClock(sim)
+        else:
+            clock = HardwareClock(sim, drift=DRIFTS[node_id])
+        net.add_node(Node(sim, node_id, tracer=tracer, clock=clock))
+    net.connect_all()
+    services = []
+    if synced:
+        services = [ClockSyncService(net, net.nodes[g], GROUP, f=1,
+                                     resync_period=PERIOD) for g in GROUP]
+    return sim, net, services
+
+
+def scenario(name):
+    byzantine = ("n0",) if name == "byzantine clock" else ()
+    synced = name != "unsynchronised"
+    sim, net, services = build(byzantine=byzantine, synced=synced)
+    if name == "one crash":
+        sim.call_in(2_000_000, net.nodes["n3"].crash)
+    sim.run(until=HORIZON)
+    correct = [node for node_id, node in net.nodes.items()
+               if node_id not in byzantine and not node.crashed]
+    skew = measure_skew(correct)
+    bound = (services[0].skew_bound(100e-6) if services else None)
+    return skew, bound
+
+
+def test_clock_sync_precision(benchmark):
+    names = ("unsynchronised", "no faults", "one crash", "byzantine clock")
+    results = benchmark.pedantic(
+        lambda: {name: scenario(name) for name in names},
+        rounds=1, iterations=1)
+    rows = [(name, skew, bound if bound is not None else "-",
+             "yes" if bound is None or skew <= bound else "NO")
+            for name, (skew, bound) in results.items()]
+    print_table("E6 — clock skew after 5 s (correct clocks only)",
+                ["scenario", "skew (us)", "bound (us)", "within bound"],
+                rows)
+    unsynced_skew = results["unsynchronised"][0]
+    assert unsynced_skew > 500  # drift really diverges unsynchronised
+    for name in ("no faults", "one crash", "byzantine clock"):
+        skew, bound = results[name]
+        assert skew <= bound, name
+        assert skew < unsynced_skew, name

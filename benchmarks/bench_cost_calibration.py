@@ -1,0 +1,50 @@
+"""Experiment E1 — §4.1: identification of the dispatcher cost constants.
+
+"A prototype of the dispatcher has been implemented in order to
+identify all activities and their resulting costs."  This benchmark
+runs the worst-case scenario calibration of
+:mod:`repro.analysis.calibration` and prints the measured constants
+table — the reproduction of the paper's (unnumbered) cost inventory —
+then verifies measurement == configuration, which is the property that
+makes the §5.3 feasibility test trustworthy.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis import calibrate_dispatcher_costs
+from repro.core import DispatcherCosts
+
+CONFIGURED = DispatcherCosts(c_local=8, c_remote=12, c_start_act=5,
+                             c_end_act=5, c_start_inv=6, c_end_inv=6)
+
+
+def test_dispatcher_cost_calibration(benchmark):
+    measured = benchmark.pedantic(
+        lambda: calibrate_dispatcher_costs(CONFIGURED),
+        rounds=3, iterations=1)
+    rows = [
+        ("c_start_act", CONFIGURED.c_start_act, measured["c_start_act"]),
+        ("c_end_act", CONFIGURED.c_end_act, measured["c_end_act"]),
+        ("c_local", CONFIGURED.c_local, measured["c_local"]),
+        ("c_remote", CONFIGURED.c_remote, measured["c_remote"]),
+        ("c_start_inv", CONFIGURED.c_start_inv, measured["c_start_inv"]),
+        ("c_end_inv", CONFIGURED.c_end_inv, measured["c_end_inv"]),
+    ]
+    print_table("E1 — dispatcher activity costs (§4.1), "
+                "configured vs measured",
+                ["constant", "configured (us)", "measured (us)"], rows)
+    for constant, configured, observed in rows:
+        assert configured == observed, constant
+
+
+def test_calibration_scales_with_costs(benchmark):
+    """Doubling the configuration doubles the measurement: the method
+    measures the system, not a cached table."""
+    doubled = DispatcherCosts(c_local=16, c_remote=24, c_start_act=10,
+                              c_end_act=10, c_start_inv=12, c_end_inv=12)
+    measured = benchmark.pedantic(
+        lambda: calibrate_dispatcher_costs(doubled), rounds=1, iterations=1)
+    assert measured["c_local"] == 16
+    assert measured["c_remote"] == 24
+    assert measured["per_action"] == 20

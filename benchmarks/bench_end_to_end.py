@@ -1,0 +1,95 @@
+"""Experiment E12 — the full §5 pipeline, end to end.
+
+Random Spuri workload -> Figure 3 HEUG translation -> §5.3 modified
+feasibility test (with the deployment's real kernel activities and
+scheduler cost) -> on-line execution under EDF+SRP with every overhead
+enabled (dispatcher costs, context switches, clock tick, network IRQ)
+at worst-case arrivals -> verdict: accepted sets never miss; observed
+worst responses never exceed what the analysis implies.
+
+This is the closest thing to "running the paper": analysis and
+execution come from the same cost model, and they must agree.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import DispatcherCosts
+from repro.core.monitoring import ViolationKind
+from repro.feasibility import hades_edf_test
+from repro.scheduling import EDFScheduler, SRPProtocol
+from repro.system import HadesSystem
+from repro.workloads import random_spuri_taskset, spuri_to_heug
+
+COSTS = DispatcherCosts(c_local=8, c_remote=12, c_start_act=5, c_end_act=5,
+                        c_start_inv=6, c_end_inv=6)
+W_SCHED = 2
+SEEDS = (101, 202, 303, 404, 505, 606)
+
+
+def pipeline(seed):
+    tasks = random_spuri_taskset(4, 0.55, seed=seed,
+                                 period_range=(6_000, 60_000))
+    system = HadesSystem(node_ids=["cpu"], costs=COSTS,
+                         context_switch_cost=2,
+                         background_activities=True)
+    report = hades_edf_test(tasks, costs=COSTS,
+                            kernel_activities=system.node_kernel_activities(
+                                "cpu"),
+                            w_sched=W_SCHED)
+    if not report.feasible:
+        return {"seed": seed, "accepted": False}
+
+    system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=W_SCHED))
+    resources = {}
+    heugs = [spuri_to_heug(task, "cpu", resources) for task in tasks]
+    system.attach_scheduler(SRPProtocol(heugs, scope="cpu", w_sched=0))
+    cycles = 4
+    for heug, task in zip(heugs, tasks):
+        state = {"n": 0}
+
+        def fire(h=heug, t=task, s=state):
+            if s["n"] >= cycles:
+                return
+            s["n"] += 1
+            system.activate(h)
+            system.sim.call_in(t.pseudo_period, lambda: fire(h, t, s))
+
+        fire()
+    system.run(until=(cycles + 1) * max(t.pseudo_period for t in tasks))
+
+    worst_ratio = 0.0
+    for task in tasks:
+        responses = system.dispatcher.response_times(task.name)
+        if responses:
+            worst_ratio = max(worst_ratio, max(responses) / task.deadline)
+    return {
+        "seed": seed,
+        "accepted": True,
+        "instances": system.dispatcher.completed_instances,
+        "misses": system.monitor.count(ViolationKind.DEADLINE_MISS),
+        "worst_ratio": worst_ratio,
+        "margin": report.margin,
+    }
+
+
+def test_end_to_end_pipeline(benchmark):
+    results = benchmark.pedantic(
+        lambda: [pipeline(seed) for seed in SEEDS], rounds=1, iterations=1)
+    rows = []
+    for outcome in results:
+        if outcome["accepted"]:
+            rows.append((outcome["seed"], "accepted",
+                         outcome["instances"], outcome["misses"],
+                         f"{outcome['worst_ratio']:.2f}"))
+        else:
+            rows.append((outcome["seed"], "rejected", "-", "-", "-"))
+    print_table("E12 — analysis vs execution (EDF+SRP, all overheads on)",
+                ["seed", "§5.3 verdict", "instances", "misses",
+                 "worst response/deadline"], rows)
+    accepted = [o for o in results if o["accepted"]]
+    assert len(accepted) >= 3, "the sweep must exercise acceptance"
+    for outcome in accepted:
+        assert outcome["misses"] == 0
+        assert outcome["worst_ratio"] <= 1.0
+        assert outcome["instances"] >= 16

@@ -1,0 +1,99 @@
+"""Experiment E13 — §3.1: integrating communications into the test.
+
+"The way communications are integrated into the scheduling test is
+free.  For instance, one can choose either to implement an end-to-end
+scheduling test that integrates application tasks and network
+management, or use two separate scheduling tests."
+
+This benchmark compares the two choices on distributed pipeline
+workloads with per-node interference, and validates the integrated
+bound against execution: the measured end-to-end response of every
+pipeline never exceeds its analytical bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import DispatcherCosts, EUAttributes, Periodic, Task
+from repro.core.dispatcher import InstanceState
+from repro.feasibility import (
+    AnalysisTask,
+    StageLoad,
+    end_to_end_bound,
+    end_to_end_feasible,
+    separate_tests,
+)
+from repro.system import HadesSystem
+
+COSTS = DispatcherCosts(c_local=8, c_remote=12, c_start_act=5, c_end_act=5)
+NETWORK_BOUND = 500
+
+
+def make_chain(name, deadline, wcets=(500, 800, 300)):
+    chain = Task(name, deadline=deadline, node_id="n0")
+    a = chain.code_eu("a", wcet=wcets[0])
+    b = chain.code_eu("b", wcet=wcets[1], node_id="n1")
+    c = chain.code_eu("c", wcet=wcets[2], node_id="n1")
+    chain.precede(a, b)
+    chain.precede(b, c)
+    return chain
+
+
+def loads():
+    return {"n1": StageLoad("n1", [AnalysisTask("hp", 100, 2_000, 2_000)])}
+
+
+def analysis_rows():
+    rows = []
+    for deadline in (2_200, 2_600, 3_500, 8_000):
+        chain = make_chain(f"p{deadline}", deadline)
+        integrated = end_to_end_feasible(chain, loads(), NETWORK_BOUND,
+                                         COSTS)
+        separate = separate_tests(chain, loads(), NETWORK_BOUND,
+                                  COSTS)["feasible"]
+        bound = end_to_end_bound(chain, loads(), NETWORK_BOUND, COSTS)
+        rows.append((deadline, bound if bound is not None else ">D",
+                     "yes" if integrated else "no",
+                     "yes" if separate else "no"))
+    return rows
+
+
+def execute_and_compare():
+    chain = make_chain("measured", deadline=8_000)
+    bound = end_to_end_bound(chain, loads(), NETWORK_BOUND, COSTS)
+    system = HadesSystem(node_ids=["n0", "n1"], costs=COSTS,
+                         network_latency=200)
+    hp = Task("hp", deadline=2_000, arrival=Periodic(period=2_000),
+              node_id="n1")
+    hp.code_eu("eu", wcet=100, attrs=EUAttributes(prio=500))
+    system.register_periodic(hp, count=20)
+    instance = system.activate(chain)
+    system.run(until=40_000)
+    return instance, bound
+
+
+def test_e13_end_to_end_vs_separate(benchmark):
+    rows = benchmark.pedantic(analysis_rows, rounds=1, iterations=1)
+    print_table("E13 — distributed pipeline: integrated vs separate tests",
+                ["pipeline deadline", "integrated bound", "integrated ok",
+                 "separate ok"], rows)
+    verdicts = {deadline: (integrated, separate)
+                for deadline, _b, integrated, separate in rows}
+    # The separate (split-budget) option is never less pessimistic.
+    for integrated, separate in verdicts.values():
+        assert not (separate == "yes" and integrated == "no")
+    # And somewhere in the sweep it is strictly more pessimistic.
+    assert any(integrated == "yes" and separate == "no"
+               for integrated, separate in verdicts.values())
+    # Loose deadlines: both accept.
+    assert verdicts[8_000] == ("yes", "yes")
+
+
+def test_e13_bound_dominates_execution(benchmark):
+    instance, bound = benchmark.pedantic(execute_and_compare, rounds=1,
+                                         iterations=1)
+    print_table("E13b — integrated bound vs measured response",
+                ["measured (us)", "bound (us)"],
+                [(instance.response_time, bound)])
+    assert instance.state is InstanceState.DONE
+    assert instance.response_time <= bound

@@ -1,0 +1,74 @@
+"""Experiment E14 — middleware overhead: how much does HADES cost?
+
+Not a table the paper prints, but the question §4 exists to answer: at
+realistic dispatcher constants, what fraction of the CPU does the
+middleware itself consume, and does the observed spending match the
+model exactly?  The avionics rate-group workload (the application
+domain the paper targets) runs under EDF at three cost settings; the
+table reports per-category CPU shares and the model/observation
+reconciliation (which must be exact — the §4 premise).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis import overhead_report
+from repro.core import DispatcherCosts
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import EDFScheduler
+from repro.system import HadesSystem
+from repro.workloads import avionics_taskset, periodic_to_heug
+
+SETTINGS = {
+    "zero": DispatcherCosts.zero(),
+    "default": DispatcherCosts(),
+    "heavy": DispatcherCosts(c_local=40, c_remote=60, c_start_act=25,
+                             c_end_act=25, c_start_inv=30, c_end_inv=30),
+}
+HORIZON = 400_000
+
+
+def run_setting(costs):
+    system = HadesSystem(node_ids=["fcc"], costs=costs,
+                         context_switch_cost=2,
+                         background_activities=True)
+    system.attach_scheduler(EDFScheduler(scope="fcc", w_sched=2))
+    tasks = avionics_taskset(2, 0.55, seed=7)
+    for atask in tasks:
+        heug = periodic_to_heug(atask, "fcc")
+        system.register_periodic(heug, count=HORIZON // atask.period)
+    system.run(until=HORIZON)
+    report = overhead_report(system)
+    misses = system.monitor.count(ViolationKind.DEADLINE_MISS)
+    return report, misses
+
+
+def test_overhead_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_setting(costs)
+                 for name, costs in SETTINGS.items()},
+        rounds=1, iterations=1)
+    rows = []
+    for name, (report, misses) in results.items():
+        totals = report["totals"]
+        rows.append((name,
+                     totals.get("application", 0),
+                     totals.get("dispatcher", 0),
+                     totals.get("scheduler", 0),
+                     totals.get("kernel", 0),
+                     f"{report['overhead_fraction']:.1%}",
+                     "yes" if report["consistent"] else "NO",
+                     misses))
+    print_table("E14 — middleware CPU overhead on the avionics workload",
+                ["costs", "app (us)", "dispatcher", "scheduler", "kernel",
+                 "overhead", "model==observed", "misses"], rows)
+    for name, (report, misses) in results.items():
+        assert report["consistent"], name  # the §4 premise, exactly
+        assert misses == 0, name
+    zero = results["zero"][0]["overhead_fraction"]
+    default = results["default"][0]["overhead_fraction"]
+    heavy = results["heavy"][0]["overhead_fraction"]
+    assert zero < default < heavy
+    # At the default constants the middleware stays under 10% —
+    # the "cheap" claim of §1 quantified for this workload.
+    assert default < 0.10

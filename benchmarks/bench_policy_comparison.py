@@ -1,0 +1,93 @@
+"""Experiment E10 — flexibility: one workload family, four policies.
+
+Sweeps utilisation and runs random periodic task sets under RM, DM,
+EDF and Spring on the unchanged dispatcher.  Reports the fraction of
+sets executed without a deadline miss per policy and band (for Spring:
+without a miss among *guaranteed* instances, plus its rejection rate).
+
+Expected crossover: every policy is clean at low utilisation; RM/DM
+degrade past the Liu & Layland bound (~0.78 for n=4) on non-harmonic
+sets while EDF stays clean up to U < 1; Spring never misses but starts
+rejecting load instead.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import DispatcherCosts
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import (
+    DMScheduler,
+    EDFScheduler,
+    RMScheduler,
+    SpringScheduler,
+)
+from repro.system import HadesSystem
+from repro.workloads import periodic_to_heug, random_periodic_taskset
+
+BANDS = (0.5, 0.7, 0.85, 0.95)
+SETS_PER_BAND = 5
+N_TASKS = 4
+
+
+def run_policy(policy, tasks, seed):
+    system = HadesSystem(node_ids=["cpu"], costs=DispatcherCosts.zero())
+    heugs = [periodic_to_heug(task, "cpu") for task in tasks]
+    spring = None
+    if policy == "rm":
+        system.attach_scheduler(RMScheduler(heugs, scope="cpu", w_sched=0))
+    elif policy == "dm":
+        system.attach_scheduler(DMScheduler(heugs, scope="cpu", w_sched=0))
+    elif policy == "edf":
+        system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
+    elif policy == "spring":
+        spring = SpringScheduler(scope="cpu", w_sched=0)
+        system.attach_scheduler(spring)
+    horizon = 2 * max(task.period for task in tasks)
+    for heug, task in zip(heugs, tasks):
+        system.register_periodic(heug, count=max(1, horizon // task.period))
+    system.run(until=horizon + max(t.period for t in tasks))
+    misses = system.monitor.count(ViolationKind.DEADLINE_MISS)
+    rejected = spring.rejected_count if spring else 0
+    return misses, rejected
+
+
+def sweep():
+    table = []
+    for band in BANDS:
+        clean = {"rm": 0, "dm": 0, "edf": 0, "spring": 0}
+        spring_rejections = 0
+        for index in range(SETS_PER_BAND):
+            seed = index * 13 + int(band * 100)
+            tasks = random_periodic_taskset(N_TASKS, band, seed=seed,
+                                            period_range=(2_000, 30_000))
+            for policy in clean:
+                misses, rejected = run_policy(policy, tasks, seed)
+                if misses == 0:
+                    clean[policy] += 1
+                if policy == "spring":
+                    spring_rejections += rejected
+        table.append((f"{band:.2f}", clean["rm"], clean["dm"],
+                      clean["edf"], clean["spring"], spring_rejections))
+    return table
+
+
+def test_policy_crossover(benchmark):
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"E10 — miss-free sets out of {SETS_PER_BAND} per band "
+        f"(n={N_TASKS}, implicit deadlines)",
+        ["target U", "RM", "DM", "EDF", "Spring", "Spring rejections"],
+        table)
+    # Low utilisation: everything is clean.
+    assert table[0][1] == table[0][2] == table[0][3] == SETS_PER_BAND
+    # EDF dominates RM at every band (same sets, same dispatcher).
+    for row in table:
+        assert row[3] >= row[1]
+    # EDF stays clean under U < 1.
+    assert all(row[3] == SETS_PER_BAND for row in table)
+    # Spring never misses on what it guarantees...
+    assert all(row[4] == SETS_PER_BAND for row in table)
+    # ...and sheds load at the top band where RM struggles.
+    top = table[-1]
+    assert top[1] < SETS_PER_BAND or top[5] > 0

@@ -1,0 +1,129 @@
+"""Experiment E8 — replication services: overhead vs failover.
+
+Compares the three §2.2.1 replication styles on the same workload:
+
+* request latency without faults (the steady-state overhead),
+* messages exchanged per request (network overhead),
+* failover behaviour after the serving replica crashes: time until
+  the next request is answered, and whether state survived.
+
+Expected shape (Poledna's classic trade-off): active masks the crash
+entirely (no failover gap) but costs the most messages; semi-active
+fails over in roughly detection time; passive adds checkpoint restore
+and client retries on top of detection.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.kernel import Node
+from repro.network import Network
+from repro.services import (
+    ActiveReplication,
+    PassiveReplication,
+    SemiActiveReplication,
+)
+from repro.sim import Simulator, Tracer
+
+REPLICAS = ["r1", "r2", "r3"]
+
+
+def build(style):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, base_latency=200)
+    for node_id in ["client"] + REPLICAS:
+        net.add_node(Node(sim, node_id, tracer=tracer))
+    net.connect_all()
+    if style == "active":
+        svc = ActiveReplication(net, "client", REPLICAS)
+    elif style == "passive":
+        svc = PassiveReplication(net, "client", REPLICAS,
+                                 checkpoint_every=1)
+    else:
+        svc = SemiActiveReplication(net, "client", REPLICAS)
+    return sim, net, svc
+
+
+def run_style(style):
+    sim, net, svc = build(style)
+    latencies = []
+
+    def timed(request, **kwargs):
+        start = sim.now
+        event = svc.submit(request, **kwargs)
+        event.add_callback(lambda evt: latencies.append(sim.now - start)
+                           if evt.ok else None)
+        return event
+
+    for index in range(5):
+        sim.call_at(1_000 + index * 10_000,
+                    lambda i=index: timed(("add", "x", 1)))
+    sim.run(until=80_000)
+    messages_before = sum(i.sent_count for i in net.interfaces.values())
+    if style == "active":
+        applications = sum(r.machine.applied for r in svc.replicas)
+    elif style == "passive":
+        # Backups only *restore* checkpoints (their counters mirror the
+        # primary's); real request execution happens once, on the primary.
+        applications = svc.machines[svc.primary].applied
+    else:
+        applications = sum(m.applied for m in svc.machines.values())
+    steady_latency = max(latencies)
+
+    serving = "r1"
+    if style != "active":
+        svc.mark_crash()
+    net.nodes[serving].crash()
+    post = None
+
+    def late():
+        nonlocal post
+        kwargs = ({"retries": 40, "timeout": 15_000}
+                  if style == "passive" else {})
+        post = timed(("add", "x", 1), **kwargs)
+
+    crash_time = sim.now
+    sim.call_in(500, late)
+    sim.run(until=1_200_000)
+    assert post is not None and post.triggered and post.ok, style
+    recovery_gap = latencies[-1] + 500  # submit delay + completion
+    failover = (svc.failover_times[0]
+                if getattr(svc, "failover_times", None) else 0)
+    state = post.value[0] if style == "active" else post.value
+    return {
+        "steady_latency": steady_latency,
+        "messages_per_request": messages_before // 5,
+        "applications_per_request": applications / 5,
+        "failover": failover,
+        "state_after": state,
+    }
+
+
+def test_replication_styles(benchmark):
+    styles = ("active", "passive", "semi-active")
+    results = benchmark.pedantic(
+        lambda: {style: run_style(style) for style in styles},
+        rounds=1, iterations=1)
+    rows = [(style,
+             outcome["steady_latency"],
+             outcome["messages_per_request"],
+             outcome["applications_per_request"],
+             outcome["failover"] if outcome["failover"] else "masked",
+             outcome["state_after"])
+            for style, outcome in results.items()]
+    print_table("E8 — replication styles: overhead vs failover",
+                ["style", "steady lat (us)", "msgs/req", "applies/req",
+                 "failover (us)", "state after crash"], rows)
+    # State correctness: 5 increments + 1 post-crash = 6 in every style.
+    assert all(o["state_after"] == 6 for o in results.values())
+    # Active masks the crash: no recorded failover interval.
+    assert results["active"]["failover"] == 0
+    # Active/semi-active burn N-fold CPU per request; passive applies
+    # once (its redundancy is the checkpoint, not recomputation).
+    assert results["active"]["applications_per_request"] == 3.0
+    assert results["semi-active"]["applications_per_request"] == 3.0
+    assert results["passive"]["applications_per_request"] == 1.0
+    # Semi-active fails over no slower than passive.
+    assert 0 < results["semi-active"]["failover"] <= \
+        results["passive"]["failover"]

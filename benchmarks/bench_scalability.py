@@ -1,0 +1,65 @@
+"""Simulator performance: wall-clock scalability of the substrate.
+
+Not a paper artefact — a regression guard for the reproduction itself.
+pytest-benchmark measures real time for fixed simulated workloads, so
+performance regressions of the event engine / dispatcher show up in CI
+rather than as mysteriously slow experiment runs.
+"""
+
+import pytest
+
+from repro.core import DispatcherCosts, Periodic, Task
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import EDFScheduler
+from repro.system import HadesSystem
+
+
+def run_single_node(n_tasks, horizon):
+    system = HadesSystem(node_ids=["cpu"], costs=DispatcherCosts())
+    system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=1))
+    for index in range(n_tasks):
+        period = 10_000 + 1_000 * index
+        task = Task(f"t{index}", deadline=period,
+                    arrival=Periodic(period=period), node_id="cpu")
+        task.code_eu("eu", wcet=max(1, period // (2 * n_tasks)))
+        system.register_periodic(task, count=horizon // period)
+    system.run(until=horizon)
+    return system
+
+
+def run_distributed(n_nodes, horizon):
+    node_ids = [f"n{i}" for i in range(n_nodes)]
+    system = HadesSystem(node_ids=node_ids, costs=DispatcherCosts(),
+                         network_latency=100)
+    for node_id in node_ids:
+        system.attach_scheduler(EDFScheduler(scope=node_id, w_sched=1))
+    # A ring of distributed HEUGs: each task starts on one node and
+    # finishes on the next.
+    for index, node_id in enumerate(node_ids):
+        succ = node_ids[(index + 1) % n_nodes]
+        task = Task(f"ring{index}", deadline=50_000,
+                    arrival=Periodic(period=50_000), node_id=node_id)
+        a = task.code_eu("a", wcet=500)
+        b = task.code_eu("b", wcet=500, node_id=succ)
+        task.precede(a, b)
+        system.register_periodic(task, count=horizon // 50_000)
+    system.run(until=horizon)
+    return system
+
+
+@pytest.mark.parametrize("n_tasks", [5, 20])
+def test_single_node_throughput(benchmark, n_tasks):
+    system = benchmark.pedantic(
+        lambda: run_single_node(n_tasks, horizon=500_000),
+        rounds=3, iterations=1)
+    assert system.dispatcher.completed_instances > 0
+    assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+
+@pytest.mark.parametrize("n_nodes", [2, 6])
+def test_distributed_ring_throughput(benchmark, n_nodes):
+    system = benchmark.pedantic(
+        lambda: run_distributed(n_nodes, horizon=500_000),
+        rounds=3, iterations=1)
+    assert system.dispatcher.completed_instances == n_nodes * 10
+    assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0

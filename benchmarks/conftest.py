@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one paper artefact (figure, worked example
+or verbally-made claim — see DESIGN.md §4) and prints its rows/series
+with :func:`print_table`, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows both the regenerated tables and the timing statistics.
+"""
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print()
+    print(title)
+    print("=" * len(title))
+    line = "  ".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(f"{c:>{w}}" for c, w in zip(row, widths)))
+    print()

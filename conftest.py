@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Puts the repository root on ``sys.path`` so the benchmark modules can
+import their shared helpers (``benchmarks.conftest``) regardless of how
+pytest was invoked (``pytest ...`` vs ``python -m pytest ...``).
+"""
+
+import pathlib
+import sys
+
+_ROOT = str(pathlib.Path(__file__).resolve().parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The paper's §5 worked example, end to end.
+
+Implements the complete pipeline of "Example: how HADES can be used to
+implement a simple scheduler achieving off-line EDF scheduling
+analysis":
+
+1. declare a set of Spuri-model tasks (sporadic, arbitrary deadlines,
+   one critical section each — §5.1),
+2. translate each into a HEUG per Figure 3,
+3. run the **naive** feasibility test (no middleware costs), the
+   **HADES modified** test (§5.3: inflated C_i', B_i', scheduler and
+   kernel interference withdrawn from deadlines) and the
+   **pessimistic** uniform-overhead test,
+4. execute the accepted set on the simulated middleware with real
+   dispatcher costs, EDF + SRP, and worst-case (synchronous,
+   max-rate) arrivals,
+5. report analysis vs. observation.
+
+Run:  python examples/edf_feasibility_analysis.py
+"""
+
+from repro import HadesSystem
+from repro.core import DispatcherCosts
+from repro.core.monitoring import ViolationKind
+from repro.feasibility import (
+    SpuriTask,
+    hades_edf_test,
+    pessimistic_edf_test,
+)
+from repro.scheduling import EDFScheduler, SRPProtocol
+from repro.workloads import spuri_to_heug
+
+COSTS = DispatcherCosts(c_local=8, c_remote=12, c_start_act=5, c_end_act=5,
+                        c_start_inv=6, c_end_inv=6)
+
+TASKS = [
+    SpuriTask("attitude", c_before=400, cs=600, c_after=300,
+              deadline=4_000, pseudo_period=5_000, resource="imu_bus"),
+    SpuriTask("guidance", c_before=900, cs=400, c_after=200,
+              deadline=8_000, pseudo_period=9_000, resource="imu_bus"),
+    SpuriTask("telemetry", c_before=1_200, cs=0, c_after=0,
+              deadline=18_000, pseudo_period=20_000),
+]
+
+
+def run_worst_case(tasks, cycles=5):
+    """Execute the set with synchronous max-rate arrivals."""
+    system = HadesSystem(node_ids=["cpu"], costs=COSTS)
+    system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=2))
+    resources = {}
+    heugs = [spuri_to_heug(task, "cpu", resources) for task in tasks]
+    system.attach_scheduler(SRPProtocol(heugs, scope="cpu", w_sched=1))
+    for heug, task in zip(heugs, tasks):
+        state = {"n": 0}
+
+        def fire(h=heug, t=task, s=state):
+            if s["n"] >= cycles:
+                return
+            s["n"] += 1
+            system.activate(h)
+            system.sim.call_in(t.pseudo_period, lambda: fire(h, t, s))
+
+        fire()
+    system.run()
+    return system
+
+
+def main() -> None:
+    print("Paper §5 worked example: off-line EDF analysis on HADES")
+    print("=======================================================")
+    print(f"{'task':>10} {'C':>6} {'D':>6} {'P':>6} {'cs':>5} resource")
+    for task in TASKS:
+        print(f"{task.name:>10} {task.wcet:>6} {task.deadline:>6} "
+              f"{task.pseudo_period:>6} {task.cs:>5} "
+              f"{task.resource or '-'}")
+    utilization = sum(t.utilization for t in TASKS)
+    print(f"utilisation: {utilization:.3f}")
+    print()
+
+    naive = hades_edf_test(TASKS, costs=DispatcherCosts.zero())
+    hades = hades_edf_test(TASKS, costs=COSTS, w_sched=2)
+    pessimistic = pessimistic_edf_test(TASKS, overhead_factor=1.5)
+
+    print(f"{'test':>24} {'feasible':>9} {'margin':>8}")
+    for name, report in (("naive (no costs)", naive),
+                         ("HADES modified (§5.3)", hades),
+                         ("pessimistic x1.5", pessimistic)):
+        print(f"{name:>24} {str(report.feasible):>9} "
+              f"{str(report.margin):>8}")
+    print()
+    print("inflated WCETs (C_i' per §5.3):")
+    for task in TASKS:
+        print(f"  {task.name:>10}: C={task.wcet} -> "
+              f"C'={hades.inflated_wcets[task.name]}")
+    print()
+
+    system = run_worst_case(TASKS)
+    misses = system.monitor.count(ViolationKind.DEADLINE_MISS)
+    completed = system.dispatcher.completed_instances
+    print(f"worst-case execution with real costs: {completed} instances, "
+          f"{misses} deadline misses")
+    for task in TASKS:
+        responses = system.dispatcher.response_times(task.name)
+        print(f"  {task.name:>10}: worst observed response "
+              f"{max(responses)} us vs deadline {task.deadline} us")
+    assert hades.feasible, "the example set is accepted by the HADES test"
+    assert misses == 0, "an accepted set must never miss (test safety)"
+    print("the §5.3 test's acceptance is confirmed by execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Flexibility showcase: four scheduling policies, one middleware.
+
+The paper's central claim is that separating the scheduler from the
+generic dispatcher makes HADES flexible: "the provision of various
+static and dynamic scheduling policies enables to support a large
+range of safety-critical applications".  This example runs the *same*
+workload under RM, DM, EDF and Spring planning-based scheduling —
+swapping nothing but the scheduler component — and prints the outcome
+of each policy, including the Liu & Layland counterexample where RM
+fails and EDF succeeds.
+
+Run:  python examples/policy_showcase.py
+"""
+
+from repro import HadesSystem
+from repro.core import DispatcherCosts, Periodic, Task
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import (
+    DMScheduler,
+    EDFScheduler,
+    RMScheduler,
+    SpringScheduler,
+)
+
+
+def make_workload():
+    """The classic RM-infeasible / EDF-feasible pair (U = 0.971)."""
+    t1 = Task("fast", deadline=500, arrival=Periodic(period=500),
+              node_id="cpu")
+    t1.code_eu("eu", wcet=200)
+    t2 = Task("slow", deadline=700, arrival=Periodic(period=700),
+              node_id="cpu")
+    t2.code_eu("eu", wcet=400)
+    return [t1, t2]
+
+
+def run_policy(name):
+    system = HadesSystem(node_ids=["cpu"], costs=DispatcherCosts.zero())
+    tasks = make_workload()
+    spring = None
+    if name == "rm":
+        system.attach_scheduler(RMScheduler(tasks, scope="cpu", w_sched=0))
+    elif name == "dm":
+        system.attach_scheduler(DMScheduler(tasks, scope="cpu", w_sched=0))
+    elif name == "edf":
+        system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
+    elif name == "spring":
+        spring = SpringScheduler(scope="cpu", w_sched=0)
+        system.attach_scheduler(spring)
+    for task in tasks:
+        count = 3_500 // task.arrival.period
+        system.register_periodic(task, count=count)
+    system.run()
+    return {
+        "policy": name,
+        "completed": system.dispatcher.completed_instances,
+        "misses": system.monitor.count(ViolationKind.DEADLINE_MISS),
+        "rejected": spring.rejected_count if spring else 0,
+    }
+
+
+def main() -> None:
+    print("One workload, four schedulers (U = 0.971, non-harmonic)")
+    print("========================================================")
+    print(f"{'policy':>8} {'completed':>10} {'misses':>7} {'rejected':>9}")
+    results = {}
+    for name in ("rm", "dm", "edf", "spring"):
+        outcome = run_policy(name)
+        results[name] = outcome
+        print(f"{name:>8} {outcome['completed']:>10} "
+              f"{outcome['misses']:>7} {outcome['rejected']:>9}")
+    print()
+    assert results["rm"]["misses"] > 0, "RM is above its bound here"
+    assert results["edf"]["misses"] == 0, "EDF sustains U < 1"
+    assert results["spring"]["misses"] == 0, \
+        "Spring never lets a guaranteed task miss"
+    print("RM misses (above its utilisation bound), EDF meets everything,")
+    print("Spring sheds load by rejecting instead of missing — all on the")
+    print("same dispatcher, task model and cost machinery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""A safety-critical stock-exchange core on HADES.
+
+The paper's introduction lists stock exchanges among the
+safety-critical domains.  This example builds the matching core of
+one:
+
+* three **gateway** nodes accept orders and forward them over
+  time-bounded reliable channels to the matching node,
+* the gateways run **consensus** to agree on the opening auction price
+  (one round of FloodSet over their locally observed reference
+  prices), tolerating a gateway crash,
+* the **matching engine** is a periodic HADES task with a deadline —
+  matching must complete within the market-data cycle,
+* every trade is committed to **persistent storage** (the audit log),
+  which survives a matching-node crash and recovery,
+* an **activation watchdog** notices when the matching task's
+  activation source stops (the regulatory "market halted" signal).
+
+Run:  python examples/stock_exchange.py
+"""
+
+from repro import HadesSystem
+from repro.core import DispatcherCosts, Periodic, Task
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import EDFScheduler
+from repro.services import BoundedChannel, PersistentStore
+from repro.services.consensus import run_consensus
+from repro.services.watchdog import ActivationWatchdog
+
+GATEWAYS = ["gw1", "gw2", "gw3"]
+CYCLE = 10_000  # 10 ms matching cycle
+
+
+def main() -> None:
+    system = HadesSystem(node_ids=GATEWAYS + ["match"],
+                         costs=DispatcherCosts(), network_latency=120)
+    system.attach_scheduler(EDFScheduler(scope="match", w_sched=2))
+
+    # --- Opening auction: gateways agree on the reference price even
+    # if one of them crashes mid-protocol.
+    observed = {"gw1": 10_025, "gw2": 10_020, "gw3": 10_030}
+    services = run_consensus(system.network, GATEWAYS, f=1, inputs=observed)
+    system.sim.call_in(500, system.nodes["gw3"].crash)  # crash one gateway
+    system.run(until=60_000)
+    survivors = [services[g] for g in GATEWAYS
+                 if not system.nodes[g].crashed]
+    prices = {s.decision for s in survivors}
+    assert len(prices) == 1, "gateways must agree on one opening price"
+    opening_price = prices.pop()
+
+    # Recover the gateway for the trading session.
+    system.nodes["gw3"].recover()
+
+    # --- Order flow over reliable channels.
+    channels = {g: BoundedChannel(system.network, g,
+                                  retransmit_interval=1_000, max_retries=6)
+                for g in GATEWAYS}
+    match_channel = BoundedChannel(system.network, "match",
+                                   retransmit_interval=1_000, max_retries=6)
+    book = {"bids": [], "asks": []}
+    match_channel.on_receive(
+        lambda src, order: book["bids" if order["side"] == "buy"
+                                else "asks"].append(order))
+
+    # --- The matching engine as a deadline-constrained periodic task.
+    store = PersistentStore(system.nodes["match"], write_latency=50)
+    trades = []
+
+    def match_action(ctx):
+        bids = sorted(book["bids"], key=lambda o: -o["price"])
+        asks = sorted(book["asks"], key=lambda o: o["price"])
+        while bids and asks and bids[0]["price"] >= asks[0]["price"]:
+            bid, ask = bids.pop(0), asks.pop(0)
+            price = (bid["price"] + ask["price"]) // 2
+            trade = {"t": ctx.now, "price": price,
+                     "buyer": bid["id"], "seller": ask["id"]}
+            trades.append(trade)
+            store.put(f"trade#{len(trades)}", trade)
+        book["bids"], book["asks"] = bids, asks
+
+    matching = Task("matching", deadline=CYCLE,
+                    arrival=Periodic(period=CYCLE), node_id="match")
+    matching.code_eu("match", wcet=2_000, action=match_action)
+    driver = system.dispatcher.register_periodic(matching)
+    watchdog = ActivationWatchdog(system.dispatcher, margin=2_000)
+    watchdog.watch(matching)
+
+    # --- A trading session: gateways submit orders around the opening.
+    session_start = system.sim.now
+    for index in range(60):
+        gateway = GATEWAYS[index % 3]
+        side = "buy" if index % 2 == 0 else "sell"
+        # Buyers bid slightly above, sellers ask slightly below: flow
+        # crosses and matches.
+        price = opening_price + (5 if side == "buy" else -5) \
+            + (index % 7) - 3
+        order = {"id": f"{gateway}-{index}", "side": side, "price": price}
+        system.sim.call_at(session_start + 1_000 + index * 1_500,
+                           lambda g=gateway, o=order:
+                           channels[g].send("match", o, size=48))
+    system.run(until=session_start + 150_000)
+
+    # --- Market halt: the activation source stops; the watchdog sees it.
+    driver.stop()
+    halt_time = system.sim.now
+    system.run(until=halt_time + 60_000)
+
+    # --- Audit-log durability across a crash.
+    system.nodes["match"].crash()
+    system.nodes["match"].recover()
+    audited = [store.get(f"trade#{i + 1}") for i in range(len(trades))]
+
+    print("Stock-exchange session report")
+    print("=============================")
+    print(f"opening price (consensus of {len(survivors)} gateways, "
+          f"1 crashed): {opening_price}")
+    print(f"orders delivered to matching: "
+          f"{match_channel._delivered and sum(match_channel._delivered.values())}")
+    print(f"trades executed: {len(trades)}; "
+          f"matching deadline misses: "
+          f"{system.monitor.count(ViolationKind.DEADLINE_MISS)}")
+    overdue = [v for v in system.monitor.of_kind(ViolationKind.ARRIVAL_LAW)
+               if v.details.get('reason') == 'overdue']
+    print(f"market-halt detections by watchdog: {len(overdue)}")
+    print(f"audit log intact after crash: "
+          f"{all(a is not None for a in audited)} "
+          f"({len(audited)} records)")
+    assert len(trades) >= 20
+    assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+    assert overdue, "the watchdog must notice the halt"
+    assert all(a is not None for a in audited)
+    print("consensus, bounded channels, deadline-scheduled matching,")
+    print("durable audit log and halt detection — one middleware.")
+
+
+if __name__ == "__main__":
+    main()

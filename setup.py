@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so
+that editable installs work on minimal offline environments where the
+`wheel` package (needed for PEP 660 editable wheels) is unavailable:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

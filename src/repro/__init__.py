@@ -1,0 +1,29 @@
+"""HADES reproduction: middleware for distributed safety-critical
+real-time applications.
+
+This library reproduces, in simulation, the system described in
+
+    E. Anceaume, G. Cabillic, P. Chevochot, I. Puaut,
+    "Hades: A Middleware Support for Distributed Safety-Critical
+    Real-Time Applications", INRIA RR-3280 / ICDCS 1998.
+
+Public entry points:
+
+* :class:`repro.system.HadesSystem` — one wired deployment (simulator,
+  nodes, network, dispatcher, monitor),
+* :mod:`repro.core` — the HEUG task model, dispatcher, cost model,
+* :mod:`repro.scheduling` — EDF, RM, DM, Spring, PCP, SRP, FIFO,
+* :mod:`repro.feasibility` — off-line scheduling tests incl. the §5.3
+  cost-integrated test,
+* :mod:`repro.services` — clock sync, reliable broadcast, replication,
+  consensus, fault detection, storage, dependency tracking,
+* :mod:`repro.workloads` — synthetic task-set generators,
+* :mod:`repro.faults` — fault-injection campaigns,
+* :mod:`repro.analysis` — cost calibration and trace analysis.
+"""
+
+from repro.system import HadesSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["HadesSystem", "__version__"]

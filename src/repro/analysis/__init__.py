@@ -1,0 +1,33 @@
+"""Cost calibration and trace analysis.
+
+* :mod:`repro.analysis.calibration` — the §4 methodology: run
+  worst-case scenario benchmarks against a deployed system and
+  *measure* the dispatcher constants and kernel activity parameters
+  back out of the execution, validating the cost model end to end.
+* :mod:`repro.analysis.traces` — reconstruct per-CPU schedules from
+  traces (who ran when), compute response-time statistics, and render
+  Figure-2-style timelines.
+"""
+
+from repro.analysis.calibration import (
+    calibrate_dispatcher_costs,
+    characterize_kernel_activities,
+)
+from repro.analysis.overhead import format_overhead, overhead_report
+from repro.analysis.traces import (
+    ScheduleInterval,
+    render_timeline,
+    response_time_stats,
+    schedule_intervals,
+)
+
+__all__ = [
+    "ScheduleInterval",
+    "calibrate_dispatcher_costs",
+    "characterize_kernel_activities",
+    "format_overhead",
+    "overhead_report",
+    "render_timeline",
+    "response_time_stats",
+    "schedule_intervals",
+]

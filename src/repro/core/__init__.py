@@ -1,0 +1,59 @@
+"""HADES core: the paper's primary contribution.
+
+This package implements the generic machinery of the middleware:
+
+* the **HEUG task model** (:mod:`repro.core.heug`) — tasks as directed
+  acyclic graphs of elementary units (paper §3.1),
+* **timing attributes and arrival laws**
+  (:mod:`repro.core.attributes`, §3.1.2),
+* **resources and condition variables**
+  (:mod:`repro.core.resources`, :mod:`repro.core.condvars`, §3.1.1),
+* the **generic dispatcher** (:mod:`repro.core.dispatcher`, §3.2.1)
+  with its monitoring activities (:mod:`repro.core.monitoring`),
+* the **scheduler/dispatcher cooperation protocol**
+  (:mod:`repro.core.notifications`, §3.2.2),
+* the **cost model** (:mod:`repro.core.costs`, §4).
+"""
+
+from repro.core.attributes import (
+    Aperiodic,
+    ArrivalLaw,
+    EUAttributes,
+    Periodic,
+    Sporadic,
+)
+from repro.core.condvars import ConditionVariable
+from repro.core.costs import DispatcherCosts, KernelActivity
+from repro.core.dispatcher import Dispatcher, EUInstance, TaskInstance
+from repro.core.heug import CodeEU, InvEU, Precedence, Task
+from repro.core.notifications import (
+    Notification,
+    NotificationKind,
+    NotificationQueue,
+)
+from repro.core.resources import AccessMode, Resource
+from repro.core.scheduler_api import SchedulerBase
+
+__all__ = [
+    "AccessMode",
+    "Aperiodic",
+    "ArrivalLaw",
+    "CodeEU",
+    "ConditionVariable",
+    "Dispatcher",
+    "DispatcherCosts",
+    "EUAttributes",
+    "EUInstance",
+    "InvEU",
+    "KernelActivity",
+    "Notification",
+    "NotificationKind",
+    "NotificationQueue",
+    "Periodic",
+    "Precedence",
+    "Resource",
+    "SchedulerBase",
+    "Sporadic",
+    "Task",
+    "TaskInstance",
+]

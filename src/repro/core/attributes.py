@@ -1,0 +1,125 @@
+"""Timing attributes and activation arrival laws (paper §3.1.2).
+
+Arrival laws classify how activation requests of one task arrive:
+periodic, sporadic or aperiodic.  The dispatcher uses the declared law
+for its monitoring activity — an activation arriving earlier than the
+law permits is an *arrival-law violation*, one of the §3.2.1 monitored
+events.
+
+Code_EU timing attributes: ``prio`` and ``pt`` (preemption threshold)
+control dispatching; ``earliest`` prevents a unit from starting too
+early (planning-based scheduling); ``latest`` and ``deadline`` feed the
+monitoring activity.  ``earliest``/``latest``/``deadline`` are stored
+*relative to the task activation* and converted to absolute dates when
+an instance is created; the scheduler can later override the absolute
+values through the dispatcher primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernel.priorities import PRIO_MIN_APPL
+
+
+class ArrivalLaw:
+    """Base class for task activation arrival laws."""
+
+    def min_separation(self) -> Optional[int]:
+        """Minimum legal gap between successive activations (None if any)."""
+        return None
+
+    def violates(self, previous: Optional[int], current: int) -> bool:
+        """Whether an activation at ``current`` after one at ``previous``
+        breaks the law."""
+        gap = self.min_separation()
+        if gap is None or previous is None:
+            return False
+        return current - previous < gap
+
+    #: Worst-case number of activations in a window of length t, used by
+    #: feasibility tests.  Defined only for laws with a min separation.
+    def max_activations(self, window: int) -> Optional[int]:
+        """Worst-case activations in a window (None if unbounded)."""
+        gap = self.min_separation()
+        if gap is None or window <= 0:
+            return None if gap is None else 0
+        return -(-window // gap)  # ceil division
+
+
+@dataclass(frozen=True)
+class Periodic(ArrivalLaw):
+    """Two successive activation requests separated by exactly ``period``."""
+
+    period: int
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.phase < 0:
+            raise ValueError(f"phase must be >= 0, got {self.phase}")
+
+    def min_separation(self) -> Optional[int]:
+        """Minimum legal gap between activations (None if any)."""
+        return self.period
+
+
+@dataclass(frozen=True)
+class Sporadic(ArrivalLaw):
+    """At least ``pseudo_period`` between successive activation requests."""
+
+    pseudo_period: int
+
+    def __post_init__(self) -> None:
+        if self.pseudo_period <= 0:
+            raise ValueError(
+                f"pseudo_period must be > 0, got {self.pseudo_period}")
+
+    def min_separation(self) -> Optional[int]:
+        """Minimum legal gap between activations (None if any)."""
+        return self.pseudo_period
+
+
+@dataclass(frozen=True)
+class Aperiodic(ArrivalLaw):
+    """Arbitrary delay between activations: nothing to monitor."""
+
+    def min_separation(self) -> Optional[int]:
+        """Minimum legal gap between activations (None if any)."""
+        return None
+
+
+@dataclass
+class EUAttributes:
+    """Timing attributes of a Code_EU (paper §3.1.2).
+
+    ``prio`` may be assigned statically (RM-style) or left to a dynamic
+    scheduler; ``pt`` defaults to the priority itself (no shielding).
+    ``earliest``, ``latest`` and ``deadline`` are microsecond offsets
+    from the activation of the enclosing task instance; ``None`` means
+    unconstrained.
+    """
+
+    prio: int = PRIO_MIN_APPL
+    pt: Optional[int] = None
+    earliest: Optional[int] = None
+    latest: Optional[int] = None
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.earliest is not None and self.earliest < 0:
+            raise ValueError("earliest must be >= 0")
+        if self.latest is not None and self.latest < 0:
+            raise ValueError("latest must be >= 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        if (self.earliest is not None and self.latest is not None
+                and self.latest < self.earliest):
+            raise ValueError("latest start before earliest start")
+
+    def copy(self) -> "EUAttributes":
+        """An independent copy of these attributes."""
+        return EUAttributes(self.prio, self.pt, self.earliest, self.latest,
+                            self.deadline)

@@ -1,0 +1,331 @@
+"""The HEUG task model (paper §3.1).
+
+A task is a finite set of *elementary units* (EUs) connected by
+precedence constraints, forming a directed acyclic graph — the "Hades
+Elementary Unit Graph".  Two kinds of EU exist:
+
+* :class:`CodeEU` — a sequence of code (*action*) with a designer-
+  guaranteed worst-case execution time, statically assigned to one
+  processor, accessing only resources local to that processor, and
+  performing no synchronisation internally;
+* :class:`InvEU` — a request to execute another task, synchronous
+  (ends when the invoked task ends) or asynchronous (ends at once).
+
+Precedence constraints may carry named parameters that transfer data
+between units.  A constraint between EUs on different processors is
+*remote* and models an invocation of the ``T_network`` communication
+task (paper §3.1); locality is derived from the EU node assignments, so
+applications are designed independently of the network actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.attributes import Aperiodic, ArrivalLaw, EUAttributes
+from repro.core.condvars import ConditionVariable
+from repro.core.resources import AccessMode, Resource, validate_claims
+
+
+class ActionContext:
+    """Execution context handed to a Code_EU's action.
+
+    ``inputs`` holds values received over incoming precedence
+    parameters; the action writes ``outputs`` for outgoing parameters
+    and may queue condition-variable signals (applied by the dispatcher
+    when the unit ends — actions themselves never synchronise).
+    """
+
+    def __init__(self, inputs: Dict[str, Any], activation_time: int,
+                 now: int):
+        self.inputs = inputs
+        self.outputs: Dict[str, Any] = {}
+        self.activation_time = activation_time
+        self.now = now
+        self._signals: List[Tuple[ConditionVariable, bool]] = []
+
+    def signal(self, condvar: ConditionVariable, value: bool = True) -> None:
+        """Queue a set (or clear) of ``condvar`` for end of unit."""
+        self._signals.append((condvar, value))
+
+
+Action = Callable[[ActionContext], None]
+ActualTime = Union[int, Callable[[Dict[str, Any]], int]]
+
+
+class EU:
+    """Common base for elementary units."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.task: Optional["Task"] = None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class CodeEU(EU):
+    """A sequence of code with a known WCET, bound to one processor.
+
+    ``wcet`` is the designer-guaranteed worst-case execution time
+    (paper: its designer *must* guarantee it can be determined).
+    ``actual_time`` is what an execution really consumes — an int, or a
+    callable of the action inputs — and must never exceed ``wcet``
+    (executions shorter than the WCET are the "early termination"
+    events the dispatcher monitors).
+    """
+
+    def __init__(self, name: str, wcet: int,
+                 node_id: Optional[str] = None,
+                 action: Optional[Action] = None,
+                 actual_time: Optional[ActualTime] = None,
+                 resources: Sequence[Tuple[Resource, AccessMode]] = (),
+                 wait_for: Sequence[ConditionVariable] = (),
+                 may_signal: Sequence[ConditionVariable] = (),
+                 attrs: Optional[EUAttributes] = None):
+        super().__init__(name)
+        if wcet < 0:
+            raise ValueError(f"negative wcet for {name}")
+        self.wcet = int(wcet)
+        self.node_id = node_id
+        self.action = action
+        self.actual_time = actual_time
+        self.resources: List[Tuple[Resource, AccessMode]] = list(resources)
+        validate_claims(self.resources)
+        self.wait_for: List[ConditionVariable] = list(wait_for)
+        #: Condition variables this unit's action may signal — declared
+        #: for the benefit of off-line analysis and deadlock detection.
+        self.may_signal: List[ConditionVariable] = list(may_signal)
+        self.attrs = attrs if attrs is not None else EUAttributes()
+
+    def resolve_actual(self, inputs: Dict[str, Any]) -> int:
+        """Actual execution time for this run (defaults to the WCET)."""
+        if self.actual_time is None:
+            return self.wcet
+        actual = (self.actual_time(inputs) if callable(self.actual_time)
+                  else self.actual_time)
+        actual = int(actual)
+        if actual < 0:
+            raise ValueError(f"negative actual time for {self.name}")
+        if actual > self.wcet:
+            raise ValueError(
+                f"{self.name}: actual time {actual} exceeds wcet {self.wcet}")
+        return actual
+
+
+class InvEU(EU):
+    """A request to execute another task (paper §3.1).
+
+    A synchronous invocation ends when the invoked task instance has
+    finished; an asynchronous one ends immediately after issuing the
+    activation request.
+
+    ``inherit_priority`` implements §3.1.2's service idiom: "dynamic
+    priority assignation can also be used to avoid priority inversions
+    when defining services ... by dynamically setting the priority of
+    services to the one of the actions that invoked them" — the
+    invoked instance's units run at the invoking unit's priority.
+    """
+
+    def __init__(self, name: str, target: "Task", synchronous: bool = True,
+                 node_id: Optional[str] = None,
+                 inherit_priority: bool = False):
+        super().__init__(name)
+        self.target = target
+        self.synchronous = synchronous
+        self.node_id = node_id
+        self.inherit_priority = inherit_priority
+
+
+@dataclass(frozen=True)
+class Precedence:
+    """A precedence constraint: ``dst`` may start only after ``src`` ends.
+
+    ``param`` optionally names a value copied from the source action's
+    outputs to the destination action's inputs.
+    """
+
+    src: EU
+    dst: EU
+    param: Optional[str] = None
+
+
+class Task:
+    """A HEUG: elementary units + precedence constraints + timing.
+
+    ``deadline`` is relative to the activation request (paper §3.1.2);
+    ``arrival`` is the activation arrival law; ``node_id`` is the
+    default processor for units that do not name one.
+    """
+
+    def __init__(self, name: str, deadline: Optional[int] = None,
+                 arrival: Optional[ArrivalLaw] = None,
+                 node_id: Optional[str] = None,
+                 recovery: Optional["Task"] = None):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        self.name = name
+        self.deadline = deadline
+        self.arrival: ArrivalLaw = arrival if arrival is not None else Aperiodic()
+        self.node_id = node_id
+        #: Exception handling (§3.1's omitted constructions): a task to
+        #: activate when an instance fails — an action raises, or a
+        #: recovery manager reacts to a timing violation.  The failed
+        #: instance is aborted first.
+        self.recovery = recovery
+        self.eus: List[EU] = []
+        self.edges: List[Precedence] = []
+        self._validated = False
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, eu: EU) -> EU:
+        """Add an elementary unit to the graph."""
+        if eu.task is not None and eu.task is not self:
+            raise ValueError(f"{eu.name} already belongs to {eu.task.name}")
+        if any(existing.name == eu.name for existing in self.eus):
+            raise ValueError(f"duplicate EU name {eu.name!r} in {self.name}")
+        eu.task = self
+        self.eus.append(eu)
+        self._validated = False
+        return eu
+
+    def code_eu(self, name: str, wcet: int, **kwargs: Any) -> CodeEU:
+        """Convenience: create and add a :class:`CodeEU`."""
+        return self.add(CodeEU(name, wcet, **kwargs))  # type: ignore[return-value]
+
+    def inv_eu(self, name: str, target: "Task", **kwargs: Any) -> InvEU:
+        """Convenience: create and add an :class:`InvEU`."""
+        return self.add(InvEU(name, target, **kwargs))  # type: ignore[return-value]
+
+    def precede(self, src: EU, dst: EU, param: Optional[str] = None) -> Precedence:
+        """Add the precedence constraint ``src`` → ``dst``."""
+        if src not in self.eus or dst not in self.eus:
+            raise ValueError("precedence endpoints must belong to this task")
+        if src is dst:
+            raise ValueError("self-precedence is a cycle")
+        edge = Precedence(src, dst, param)
+        self.edges.append(edge)
+        self._validated = False
+        return edge
+
+    def chain(self, *eus: EU) -> None:
+        """Add precedence constraints forming a linear chain."""
+        for src, dst in zip(eus, eus[1:]):
+            self.precede(src, dst)
+
+    # -- graph queries ---------------------------------------------------------
+
+    def predecessors(self, eu: EU) -> List[EU]:
+        """Units with an edge into the given unit."""
+        return [edge.src for edge in self.edges if edge.dst is eu]
+
+    def successors(self, eu: EU) -> List[EU]:
+        """Units the given unit has an edge to."""
+        return [edge.dst for edge in self.edges if edge.src is eu]
+
+    def in_edges(self, eu: EU) -> List[Precedence]:
+        """Precedence constraints ending at the unit."""
+        return [edge for edge in self.edges if edge.dst is eu]
+
+    def out_edges(self, eu: EU) -> List[Precedence]:
+        """Precedence constraints leaving the unit."""
+        return [edge for edge in self.edges if edge.src is eu]
+
+    def sources(self) -> List[EU]:
+        """Units with no predecessors (entry points of the graph)."""
+        targets = {edge.dst for edge in self.edges}
+        return [eu for eu in self.eus if eu not in targets]
+
+    def sinks(self) -> List[EU]:
+        """Units with no successors (exit points)."""
+        origins = {edge.src for edge in self.edges}
+        return [eu for eu in self.eus if eu not in origins]
+
+    def node_of(self, eu: EU) -> Optional[str]:
+        """The processor an EU is statically assigned to."""
+        explicit = getattr(eu, "node_id", None)
+        return explicit if explicit is not None else self.node_id
+
+    def is_remote(self, edge: Precedence) -> bool:
+        """Whether a precedence constraint crosses processors (§3.1)."""
+        return self.node_of(edge.src) != self.node_of(edge.dst)
+
+    def code_eus(self) -> List[CodeEU]:
+        """The Code_EUs of this task, in insertion order."""
+        return [eu for eu in self.eus if isinstance(eu, CodeEU)]
+
+    def inv_eus(self) -> List[InvEU]:
+        """The Inv_EUs of this task, in insertion order."""
+        return [eu for eu in self.eus if isinstance(eu, InvEU)]
+
+    def total_wcet(self) -> int:
+        """Sum of the WCETs of all Code_EUs (one-processor upper bound)."""
+        return sum(eu.wcet for eu in self.code_eus())
+
+    # -- validation ----------------------------------------------------------
+
+    def topological_order(self) -> List[EU]:
+        """Units in a deterministic topological order.
+
+        Raises ``ValueError`` if the graph has a cycle — a HEUG must be
+        a *directed acyclic* graph.
+        """
+        in_degree = {eu: 0 for eu in self.eus}
+        for edge in self.edges:
+            in_degree[edge.dst] += 1
+        frontier = [eu for eu in self.eus if in_degree[eu] == 0]
+        order: List[EU] = []
+        while frontier:
+            eu = frontier.pop(0)
+            order.append(eu)
+            for succ in self.successors(eu):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.eus):
+            raise ValueError(f"task {self.name!r} has a precedence cycle")
+        return order
+
+    def validate(self) -> "Task":
+        """Check HEUG structural rules; returns self for chaining.
+
+        Rules enforced: non-empty, acyclic, every Code_EU has a node
+        assignment (directly or via the task default), resources used by
+        a Code_EU are local to its processor, and edge parameters do not
+        collide on the destination side.
+        """
+        if not self.eus:
+            raise ValueError(f"task {self.name!r} has no elementary units")
+        self.topological_order()
+        for eu in self.code_eus():
+            node = self.node_of(eu)
+            if node is None:
+                raise ValueError(
+                    f"{self.name}/{eu.name}: no processor assignment")
+            for resource, _mode in eu.resources:
+                if resource.node_id is not None and resource.node_id != node:
+                    raise ValueError(
+                        f"{self.name}/{eu.name}: resource {resource.name} "
+                        f"is on node {resource.node_id}, EU on {node}")
+        for eu in self.eus:
+            params = [e.param for e in self.in_edges(eu) if e.param]
+            if len(params) != len(set(params)):
+                raise ValueError(
+                    f"{self.name}/{eu.name}: duplicate incoming parameter")
+        self._validated = True
+        return self
+
+    def __repr__(self) -> str:
+        return (f"<Task {self.name} eus={len(self.eus)} "
+                f"edges={len(self.edges)} D={self.deadline}>")

@@ -1,0 +1,93 @@
+"""The ``T_network`` communication-protocol task (paper §3.1).
+
+"A remote precedence constraint models the invocation of a task
+T_network implementing the communication protocol of a particular
+hardware and software configuration...  modeling the network as an
+independent task allows T_network to be assigned parameters specific to
+a particular communication protocol, as for example the priority at
+which the protocol executes."
+
+:class:`TNetwork` is that task for one node: a kernel thread at a
+configurable priority draining an outbox; each message costs
+``send_cost`` microseconds of CPU (protocol processing) before being
+handed to the network interface.  Install it with
+:func:`install_tnetwork`, after which the dispatcher routes remote
+precedence constraints through it automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.kernel.node import Node
+from repro.kernel.priorities import PRIO_SCHEDULER
+from repro.kernel.threads import Compute, WaitEvent
+from repro.network.interface import NetworkInterface
+
+
+class TNetwork:
+    """Per-node network-protocol task."""
+
+    def __init__(self, node: Node, interface: NetworkInterface,
+                 priority: int = PRIO_SCHEDULER - 1, send_cost: int = 10,
+                 outbox_capacity: int = 1024):
+        if send_cost < 0:
+            raise ValueError("send_cost must be >= 0")
+        if outbox_capacity <= 0:
+            raise ValueError("outbox_capacity must be > 0")
+        self.node = node
+        self.interface = interface
+        self.priority = priority
+        self.send_cost = send_cost
+        self.outbox_capacity = outbox_capacity
+        self._outbox: Deque[Tuple[str, Any, str, int]] = deque()
+        self._wakeup = None
+        self.sent_count = 0
+        self.dropped_full = 0
+        self.thread = node.spawn(self._body(), name="T_network",
+                                 priority=priority,
+                                 preemption_threshold=priority)
+
+    def send(self, dst: str, payload: Any, kind: str = "app",
+             size: int = 64) -> bool:
+        """Queue a message for protocol processing and transmission.
+
+        Returns False (and counts a drop) if the outbox is full — a
+        correctly dimensioned system never hits this, and the §5.3-style
+        analysis can use :meth:`worst_case_queueing` to bound the delay.
+        """
+        if len(self._outbox) >= self.outbox_capacity:
+            self.dropped_full += 1
+            return False
+        self._outbox.append((dst, payload, kind, size))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            wakeup, self._wakeup = self._wakeup, None
+            wakeup.succeed()
+        return True
+
+    def worst_case_queueing(self) -> int:
+        """Upper bound on protocol queueing+processing delay for one
+        message, assuming a full outbox ahead of it."""
+        return self.outbox_capacity * self.send_cost
+
+    def _body(self):
+        sim = self.node.sim
+        while True:
+            if not self._outbox:
+                self._wakeup = sim.event("tnetwork:wakeup")
+                yield WaitEvent(self._wakeup)
+            dst, payload, kind, size = self._outbox.popleft()
+            if self.send_cost:
+                yield Compute(self.send_cost, "service")
+            self.interface.send(dst, payload, kind=kind, size=size)
+            self.sent_count += 1
+
+
+def install_tnetwork(node: Node, interface: NetworkInterface,
+                     **kwargs: Any) -> TNetwork:
+    """Create a :class:`TNetwork` for ``node`` and register it where the
+    dispatcher looks for it (``node.tnetwork``)."""
+    tnet = TNetwork(node, interface, **kwargs)
+    node.tnetwork = tnet
+    return tnet

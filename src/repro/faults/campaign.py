@@ -1,0 +1,59 @@
+"""Fault-injection campaigns: many seeded runs, aggregated metrics.
+
+A campaign runs a user-supplied *scenario* once per seed.  The scenario
+builds a system, applies a fault plan, runs it, and returns a metric
+dict.  The campaign aggregates across seeds — the shape used by the
+monitoring-coverage benchmark (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+Scenario = Callable[[int], Dict[str, Any]]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    runs: int
+    per_run: List[Dict[str, Any]] = field(default_factory=list)
+
+    def mean(self, key: str) -> float:
+        """Mean of a metric across runs."""
+        values = [run[key] for run in self.per_run if key in run]
+        return sum(values) / len(values) if values else 0.0
+
+    def total(self, key: str) -> float:
+        """Sum of a metric across runs."""
+        return sum(run.get(key, 0) for run in self.per_run)
+
+    def maximum(self, key: str) -> float:
+        """Maximum of a metric across runs."""
+        values = [run[key] for run in self.per_run if key in run]
+        return max(values) if values else 0.0
+
+    def fraction(self, key: str) -> float:
+        """Fraction of runs where ``key`` is truthy."""
+        if not self.per_run:
+            return 0.0
+        return sum(1 for run in self.per_run if run.get(key)) / len(self.per_run)
+
+
+class Campaign:
+    """Run a scenario across seeds."""
+
+    def __init__(self, scenario: Scenario, seeds: Sequence[int]):
+        self.scenario = scenario
+        self.seeds = list(seeds)
+
+    def run(self) -> CampaignResult:
+        """Execute the scenario once per seed; returns the aggregate."""
+        result = CampaignResult(runs=len(self.seeds))
+        for seed in self.seeds:
+            metrics = self.scenario(seed)
+            metrics.setdefault("seed", seed)
+            result.per_run.append(metrics)
+        return result

@@ -1,0 +1,101 @@
+"""Off-line feasibility tests (scheduling analyses).
+
+A HADES scheduling policy "may also include a scheduling test,
+analyzing either statically or dynamically whether a set of tasks can
+meet its timing constraints" (§2.2.1).  This package implements:
+
+* the Liu & Layland utilisation bound for RM
+  (:mod:`repro.feasibility.rm_bound`),
+* response-time analysis for fixed-priority scheduling with blocking
+  (:mod:`repro.feasibility.response_time`),
+* synchronous busy-period computation
+  (:mod:`repro.feasibility.busy_period`),
+* Spuri's processor-demand test for EDF with SRP — the exact test of
+  the paper's §5.1 worked example (:mod:`repro.feasibility.spuri`),
+* blocking-time computation for SRP and PCP
+  (:mod:`repro.feasibility.blocking`),
+* the **HADES modified scheduling test** of §5.3, folding the
+  dispatcher constants, the scheduler cost and the background kernel
+  activities into the analysis (:mod:`repro.feasibility.hades_test`).
+
+All tests operate on :class:`~repro.feasibility.taskset.AnalysisTask`
+descriptors, which can be derived from HEUGs.
+"""
+
+from repro.feasibility.cohabitation import (
+    best_effort_slack,
+    global_test,
+    guaranteed_plus_best_effort,
+)
+from repro.feasibility.end_to_end import (
+    StageLoad,
+    end_to_end_bound,
+    end_to_end_feasible,
+    separate_tests,
+    stage_response_bound,
+)
+from repro.feasibility.cyclic import (
+    CyclicSchedule,
+    build_cyclic_schedule,
+    candidate_frames,
+    execute_schedule,
+)
+from repro.feasibility.blocking import (
+    pcp_blocking_times,
+    srp_blocking_times,
+)
+from repro.feasibility.busy_period import synchronous_busy_period
+from repro.feasibility.hades_test import (
+    HadesTestReport,
+    hades_edf_test,
+    kernel_interference,
+    pessimistic_edf_test,
+    scheduler_interference,
+    spuri_task_inflation,
+)
+from repro.feasibility.response_time import (
+    response_time_analysis,
+    rta_schedulable,
+)
+from repro.feasibility.rm_bound import (
+    liu_layland_bound,
+    rm_utilization_test,
+)
+from repro.feasibility.spuri import (
+    processor_demand,
+    spuri_edf_test,
+)
+from repro.feasibility.taskset import AnalysisTask, SpuriTask, utilization
+
+__all__ = [
+    "AnalysisTask",
+    "CyclicSchedule",
+    "StageLoad",
+    "end_to_end_bound",
+    "end_to_end_feasible",
+    "separate_tests",
+    "stage_response_bound",
+    "best_effort_slack",
+    "build_cyclic_schedule",
+    "candidate_frames",
+    "execute_schedule",
+    "global_test",
+    "guaranteed_plus_best_effort",
+    "HadesTestReport",
+    "SpuriTask",
+    "hades_edf_test",
+    "kernel_interference",
+    "liu_layland_bound",
+    "pcp_blocking_times",
+    "pessimistic_edf_test",
+    "processor_demand",
+    "spuri_task_inflation",
+    "response_time_analysis",
+    "rm_utilization_test",
+    "rta_schedulable",
+    "scheduler_interference",
+    "spuri_edf_test",
+    "srp_blocking_times",
+    "synchronous_busy_period",
+    "utilization",
+]

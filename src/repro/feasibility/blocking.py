@@ -1,0 +1,69 @@
+"""Worst-case blocking times under SRP and PCP.
+
+Both protocols guarantee *at most one* blocking interval per job, so
+the worst-case blocking of task i is the longest critical section of
+any "lower" job whose resource can conflict with i:
+
+* **SRP** (preemption levels π ordered by relative deadline): task i
+  can be blocked by task j iff π_j < π_i and j uses a resource whose
+  ceiling is >= π_i.
+* **PCP** (fixed priorities): task i can be blocked by task j iff
+  prio_j < prio_i and j uses a resource whose priority ceiling is
+  >= prio_i.
+
+Since the orderings coincide when priorities are deadline-monotonic,
+the two computations share one core parameterised by the level map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.feasibility.taskset import AnalysisTask
+
+
+def _ceilings(tasks: Sequence[AnalysisTask],
+              levels: Dict[str, int]) -> Dict[str, int]:
+    ceilings: Dict[str, int] = {}
+    for task in tasks:
+        if task.resource is not None:
+            ceilings[task.resource] = max(
+                ceilings.get(task.resource, 0), levels[task.name])
+    return ceilings
+
+
+def _single_blocking(tasks: Sequence[AnalysisTask],
+                     levels: Dict[str, int]) -> Dict[str, int]:
+    ceilings = _ceilings(tasks, levels)
+    blocking: Dict[str, int] = {}
+    for task in tasks:
+        worst = 0
+        for other in tasks:
+            if other.name == task.name or other.resource is None:
+                continue
+            if (levels[other.name] < levels[task.name]
+                    and ceilings[other.resource] >= levels[task.name]):
+                worst = max(worst, other.cs)
+        blocking[task.name] = worst
+    return blocking
+
+
+def srp_blocking_times(tasks: Sequence[AnalysisTask],
+                       levels: Optional[Dict[str, int]] = None
+                       ) -> Dict[str, int]:
+    """B_i under SRP; levels default to deadline order (shorter D =
+    higher level), matching :func:`repro.scheduling.srp.preemption_levels`."""
+    if levels is None:
+        ranked = sorted(tasks, key=lambda t: (-t.deadline, t.name))
+        levels = {task.name: rank + 1 for rank, task in enumerate(ranked)}
+    return _single_blocking(tasks, levels)
+
+
+def pcp_blocking_times(tasks: Sequence[AnalysisTask],
+                       priorities: Optional[Dict[str, int]] = None
+                       ) -> Dict[str, int]:
+    """B_i under PCP; priorities default to deadline-monotonic order."""
+    if priorities is None:
+        ranked = sorted(tasks, key=lambda t: (-t.deadline, t.name))
+        priorities = {task.name: rank + 1 for rank, task in enumerate(ranked)}
+    return _single_blocking(tasks, priorities)

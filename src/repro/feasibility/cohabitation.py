@@ -1,0 +1,104 @@
+"""Cohabitation of applications under different schedulers (§2.2.1).
+
+"The cohabitation of applications managed by different schedulers
+requires to take into account resource sharing among these
+applications.  To tackle this problem, one can for instance encompass
+all these applications into a global scheduling test, or restrict the
+cohabitation between a single scheduler implementing a feasibility
+test and any number of best-effort schedulers."
+
+Both options are implemented:
+
+* :func:`global_test` — option 1: merge every application's task set
+  into one global EDF analysis (with the usual cost integration).
+  Precise, but requires a common analysable model — the "rather
+  complex study" the paper warns about is visible as the requirement
+  that *every* application be expressible as Spuri tasks.
+* :func:`guaranteed_plus_best_effort` — option 2: the guaranteed
+  application is analysed alone (best-effort work runs strictly below
+  it in the priority band, so under preemptive priorities it cannot
+  delay guaranteed tasks); the best-effort side gets no guarantee but
+  a *slack profile* estimating the CPU left over per window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.costs import DispatcherCosts, KernelActivity
+from repro.feasibility.hades_test import HadesTestReport, hades_edf_test
+from repro.feasibility.spuri import processor_demand
+from repro.feasibility.taskset import SpuriTask, utilization
+
+
+def global_test(applications: Dict[str, Sequence[SpuriTask]],
+                costs: Optional[DispatcherCosts] = None,
+                kernel_activities: Sequence[KernelActivity] = (),
+                w_sched: int = 0) -> HadesTestReport:
+    """Option 1: one global feasibility test over every application.
+
+    Task names are prefixed with their application name so that
+    distinct applications may reuse task names.
+    """
+    merged: List[SpuriTask] = []
+    for app_name, tasks in sorted(applications.items()):
+        for task in tasks:
+            merged.append(SpuriTask(
+                name=f"{app_name}.{task.name}",
+                c_before=task.c_before, cs=task.cs, c_after=task.c_after,
+                deadline=task.deadline, pseudo_period=task.pseudo_period,
+                resource=task.resource))
+    return hades_edf_test(merged, costs=costs,
+                          kernel_activities=kernel_activities,
+                          w_sched=w_sched)
+
+
+def best_effort_slack(guaranteed: Sequence[SpuriTask], window: int,
+                      costs: Optional[DispatcherCosts] = None) -> int:
+    """CPU microseconds left for best-effort work in a ``window``.
+
+    Worst-case: the guaranteed application claims its full processor
+    demand (with cost inflation); whatever remains is available to
+    lower-priority best-effort schedulers.
+    """
+    from repro.feasibility.hades_test import spuri_task_inflation
+
+    costs = costs if costs is not None else DispatcherCosts.zero()
+    analysis = [task.to_analysis().scaled(
+        wcet=spuri_task_inflation(task, costs)) for task in guaranteed]
+    demand = 0
+    for task in analysis:
+        jobs = -(-window // task.period)
+        demand += jobs * task.wcet
+    return max(0, window - demand)
+
+
+def guaranteed_plus_best_effort(
+        guaranteed: Sequence[SpuriTask],
+        best_effort_load: Sequence[SpuriTask] = (),
+        costs: Optional[DispatcherCosts] = None,
+        kernel_activities: Sequence[KernelActivity] = (),
+        w_sched: int = 0,
+        slack_window: int = 100_000) -> Dict[str, object]:
+    """Option 2: analyse the guaranteed application alone.
+
+    Returns the guaranteed application's report, the slack available
+    per ``slack_window``, and whether the offered best-effort load
+    *fits in the slack on average* (a quality estimate, explicitly not
+    a guarantee).
+    """
+    report = hades_edf_test(guaranteed, costs=costs,
+                            kernel_activities=kernel_activities,
+                            w_sched=w_sched)
+    slack = best_effort_slack(guaranteed, slack_window, costs)
+    best_effort_utilization = utilization(best_effort_load) \
+        if best_effort_load else 0.0
+    slack_fraction = slack / slack_window if slack_window else 0.0
+    return {
+        "guaranteed": report,
+        "slack_per_window": slack,
+        "slack_fraction": slack_fraction,
+        "best_effort_utilization": best_effort_utilization,
+        "best_effort_fits_on_average":
+            best_effort_utilization <= slack_fraction,
+    }

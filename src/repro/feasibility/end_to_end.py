@@ -1,0 +1,155 @@
+"""End-to-end scheduling analysis for distributed HEUGs (§3.1).
+
+"The way communications are integrated into the scheduling test is
+free.  For instance, one can choose either to implement an end-to-end
+scheduling test that integrates application tasks and network
+management, or use two separate scheduling tests."
+
+Both choices are implemented for *pipeline* HEUGs (a chain of Code_EUs
+possibly crossing processors — the common distributed control shape):
+
+* :func:`end_to_end_bound` — option 1, one integrated bound: the sum,
+  along the chain, of each unit's per-node worst response (its WCET
+  inflated by dispatcher costs plus the node's higher-priority
+  interference over that response window) and each remote hop's
+  network + protocol worst case;
+* :func:`separate_tests` — option 2: a per-node feasibility verdict
+  for the load each node carries, plus a standalone network-capacity
+  check; the end-to-end deadline is then split into per-stage budgets
+  (proportional to stage demand) and each stage is checked against its
+  budget.
+
+Both are *sufficient* (conservative) analyses: they may reject
+workloads that would meet their deadlines, never the reverse, which
+the test suite checks against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.costs import DispatcherCosts, KernelActivity
+from repro.core.heug import CodeEU, Task
+from repro.feasibility.taskset import AnalysisTask
+
+
+@dataclass
+class StageLoad:
+    """Higher-or-equal-priority interference present on one node."""
+
+    node_id: str
+    tasks: List[AnalysisTask] = field(default_factory=list)
+
+    def demand(self, window: int) -> int:
+        """Worst-case CPU demand of these tasks over a window."""
+        total = 0
+        for task in self.tasks:
+            total += -(-window // task.period) * task.wcet
+        return total
+
+
+def stage_response_bound(wcet: int, load: Optional[StageLoad],
+                         deadline_cap: int,
+                         max_iterations: int = 10_000) -> Optional[int]:
+    """Fixed point R = C + I(R) on one node (None if > deadline_cap)."""
+    response = wcet
+    for _ in range(max_iterations):
+        demand = wcet + (load.demand(response) if load is not None else 0)
+        if demand == response:
+            return response
+        if demand > deadline_cap:
+            return None
+        response = demand
+    return None
+
+
+def end_to_end_bound(chain: Task,
+                     loads: Dict[str, StageLoad],
+                     network_bound: int,
+                     costs: Optional[DispatcherCosts] = None,
+                     protocol_queueing: int = 0) -> Optional[int]:
+    """Option 1: integrated worst-case end-to-end response of a chain.
+
+    ``loads`` gives each node's interfering task set; ``network_bound``
+    is the network's worst correct transfer delay (plus receive IRQ).
+    Returns None when any stage diverges past the chain deadline.
+    """
+    costs = costs if costs is not None else DispatcherCosts()
+    deadline_cap = chain.deadline if chain.deadline is not None else 2 ** 40
+    order = chain.topological_order()
+    total = 0
+    for eu in order:
+        if not isinstance(eu, CodeEU):
+            continue
+        node = chain.node_of(eu)
+        inflated = eu.wcet + costs.per_action()
+        stage = stage_response_bound(inflated, loads.get(node),
+                                     deadline_cap)
+        if stage is None:
+            return None
+        total += stage
+    for edge in chain.edges:
+        if chain.is_remote(edge):
+            total += costs.c_remote + network_bound + protocol_queueing
+        else:
+            total += costs.c_local
+        if total > deadline_cap:
+            return None
+    return total
+
+
+def end_to_end_feasible(chain: Task, loads: Dict[str, StageLoad],
+                        network_bound: int,
+                        costs: Optional[DispatcherCosts] = None,
+                        protocol_queueing: int = 0) -> bool:
+    """Whether the integrated bound fits the chain's deadline."""
+    if chain.deadline is None:
+        raise ValueError(f"chain {chain.name} has no deadline")
+    bound = end_to_end_bound(chain, loads, network_bound, costs,
+                             protocol_queueing)
+    return bound is not None and bound <= chain.deadline
+
+
+def separate_tests(chain: Task, loads: Dict[str, StageLoad],
+                   network_bound: int,
+                   costs: Optional[DispatcherCosts] = None
+                   ) -> Dict[str, object]:
+    """Option 2: independent per-stage tests under a deadline split.
+
+    The chain deadline is divided among stages proportionally to their
+    inflated WCETs (remote hops get the network bound as their share);
+    each compute stage must fit its budget given its node's load.
+    Returns per-stage verdicts and the overall conjunction.
+    """
+    if chain.deadline is None:
+        raise ValueError(f"chain {chain.name} has no deadline")
+    costs = costs if costs is not None else DispatcherCosts()
+    order = [eu for eu in chain.topological_order()
+             if isinstance(eu, CodeEU)]
+    remote_hops = sum(1 for edge in chain.edges if chain.is_remote(edge))
+    local_hops = len(chain.edges) - remote_hops
+    network_share = remote_hops * (network_bound + costs.c_remote) \
+        + local_hops * costs.c_local
+    compute_budget = chain.deadline - network_share
+    verdicts: Dict[str, object] = {"network_share": network_share}
+    if compute_budget <= 0:
+        verdicts["feasible"] = False
+        verdicts["stages"] = {}
+        return verdicts
+    inflated = {eu.name: eu.wcet + costs.per_action() for eu in order}
+    total_wcet = sum(inflated.values())
+    stages: Dict[str, Dict[str, object]] = {}
+    feasible = True
+    for eu in order:
+        budget = compute_budget * inflated[eu.name] // max(1, total_wcet)
+        node = chain.node_of(eu)
+        bound = stage_response_bound(inflated[eu.name], loads.get(node),
+                                     deadline_cap=chain.deadline)
+        ok = bound is not None and bound <= budget
+        stages[eu.name] = {"node": node, "budget": budget,
+                           "bound": bound, "feasible": ok}
+        feasible = feasible and ok
+    verdicts["stages"] = stages
+    verdicts["feasible"] = feasible
+    return verdicts

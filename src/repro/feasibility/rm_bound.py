@@ -1,0 +1,39 @@
+"""Liu & Layland's Rate Monotonic utilisation bound (their 1973 paper,
+cited [LL73] throughout HADES).
+
+A set of n independent periodic tasks with deadlines equal to periods
+is schedulable by RM if its total utilisation does not exceed
+``n * (2^(1/n) - 1)``.  The bound is sufficient, not necessary — the
+policy-comparison benchmark (experiment E10) shows RM sets above the
+bound that still meet all deadlines, and EDF sustaining utilisation up
+to 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.feasibility.taskset import AnalysisTask, utilization
+
+
+def liu_layland_bound(n: int) -> float:
+    """The RM utilisation bound for ``n`` tasks (→ ln 2 as n grows)."""
+    if n <= 0:
+        raise ValueError("need at least one task")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def rm_utilization_test(tasks: Sequence[AnalysisTask]) -> bool:
+    """Sufficient RM schedulability test by the utilisation bound.
+
+    Requires the implicit-deadline model (D = T); use response-time
+    analysis for anything richer.
+    """
+    if not tasks:
+        return True
+    for task in tasks:
+        if task.deadline != task.period:
+            raise ValueError(
+                f"{task.name}: Liu-Layland needs D == T "
+                f"(D={task.deadline}, T={task.period})")
+    return utilization(tasks) <= liu_layland_bound(len(tasks)) + 1e-12

@@ -1,0 +1,124 @@
+"""Analysis-level task descriptors.
+
+Feasibility mathematics works on numeric task descriptors rather than
+executable HEUGs.  :class:`AnalysisTask` is the classic sporadic task
+(C, D, T) extended with a blocking term; :class:`SpuriTask` is the §5.1
+model — sporadic tasks with arbitrary deadlines and *one* critical
+section each (``c_before``/``cs``/``c_after``), which Figure 3
+translates into a three-unit HEUG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class AnalysisTask:
+    """A sporadic task for feasibility analysis.
+
+    ``wcet`` (C), ``deadline`` (D, relative) and ``period`` (T, the
+    period or pseudo-period).  ``blocking`` (B) is the worst-case time
+    the task can be blocked by lower-priority/level jobs; it is usually
+    computed by :mod:`repro.feasibility.blocking` rather than set by
+    hand.  ``resource`` optionally names the resource whose critical
+    section lasts ``cs``.
+    """
+
+    name: str
+    wcet: int
+    deadline: int
+    period: int
+    blocking: int = 0
+    resource: Optional[str] = None
+    cs: int = 0
+    #: Release jitter (J): worst-case delay between the nominal arrival
+    #: and the job actually becoming ready — e.g. network delivery
+    #: variance for the remote stage of a distributed chain.  Used by
+    #: the jitter-aware response-time analysis.
+    jitter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"{self.name}: wcet must be > 0")
+        if self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be > 0")
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be > 0")
+        if self.blocking < 0 or self.cs < 0:
+            raise ValueError(f"{self.name}: negative blocking/cs")
+        if self.cs > self.wcet:
+            raise ValueError(f"{self.name}: critical section exceeds wcet")
+        if self.jitter < 0:
+            raise ValueError(f"{self.name}: negative jitter")
+
+    @property
+    def utilization(self) -> float:
+        """C / T."""
+        return self.wcet / self.period
+
+    def scaled(self, wcet: Optional[int] = None,
+               blocking: Optional[int] = None) -> "AnalysisTask":
+        """A copy with substituted C' and/or B' (the §5.3 substitution)."""
+        return AnalysisTask(
+            name=self.name,
+            wcet=self.wcet if wcet is None else wcet,
+            deadline=self.deadline,
+            period=self.period,
+            blocking=self.blocking if blocking is None else blocking,
+            resource=self.resource,
+            cs=min(self.cs, self.wcet if wcet is None else wcet),
+            jitter=self.jitter,
+        )
+
+
+@dataclass
+class SpuriTask:
+    """The §5.1 task model: sporadic, arbitrary deadline, one critical
+    section on resource ``resource`` (or none).
+
+    ``wcet`` = c_before + cs + c_after, as in the paper.
+    """
+
+    name: str
+    c_before: int
+    cs: int
+    c_after: int
+    deadline: int
+    pseudo_period: int
+    resource: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if min(self.c_before, self.cs, self.c_after) < 0:
+            raise ValueError(f"{self.name}: negative segment time")
+        if self.wcet <= 0:
+            raise ValueError(f"{self.name}: empty task")
+        if self.deadline <= 0 or self.pseudo_period <= 0:
+            raise ValueError(f"{self.name}: deadline/period must be > 0")
+        if self.cs > 0 and self.resource is None:
+            raise ValueError(f"{self.name}: critical section without resource")
+        if self.cs == 0 and self.resource is not None:
+            raise ValueError(f"{self.name}: resource without critical section")
+
+    @property
+    def wcet(self) -> int:
+        """C_i = c_before + cs + c_after, as in the paper."""
+        return self.c_before + self.cs + self.c_after
+
+    @property
+    def utilization(self) -> float:
+        """C / P (pseudo-period)."""
+        return self.wcet / self.pseudo_period
+
+    def to_analysis(self, blocking: int = 0) -> AnalysisTask:
+        """This task as a generic AnalysisTask descriptor."""
+        return AnalysisTask(name=self.name, wcet=self.wcet,
+                            deadline=self.deadline,
+                            period=self.pseudo_period, blocking=blocking,
+                            resource=self.resource, cs=self.cs)
+
+
+def utilization(tasks: Sequence) -> float:
+    """Total processor utilisation of a task set."""
+    return sum(task.utilization for task in tasks)

@@ -1,0 +1,69 @@
+"""Simulated COTS real-time kernel (substitute for ChorusR3).
+
+The paper layers HADES on a commercial real-time micro-kernel that
+provides priority-based preemptive scheduling, inter-process
+synchronisation and a predictable behaviour (paper §2.2.1).  We do not
+have that kernel or its hardware; this package provides a functionally
+equivalent *simulated* kernel per node:
+
+* :class:`~repro.kernel.cpu.Cpu` — preemptive fixed/dynamic priority
+  dispatching with preemption thresholds and an explicit context-switch
+  cost,
+* :class:`~repro.kernel.threads.KThread` — kernel threads whose bodies
+  are generators issuing kernel requests (compute, sleep, wait),
+* :class:`~repro.kernel.clocks.HardwareClock` — per-node drifting clock,
+  optionally Byzantine-faulty, adjustable by the clock-sync service,
+* :class:`~repro.kernel.interrupts.InterruptSource` — background kernel
+  activities (clock tick, network-card interrupt) whose WCET and
+  pseudo-period are first-class, as required by the paper's §4.2 cost
+  characterisation,
+* :class:`~repro.kernel.node.Node` — one processor node bundling all of
+  the above.
+
+Every microsecond of CPU time is attributed to a bookkeeping category
+(application, dispatcher, kernel, interrupt) so the §4 cost model can be
+validated against the trace.
+"""
+
+from repro.kernel.clocks import ByzantineClock, HardwareClock
+from repro.kernel.cpu import Cpu
+from repro.kernel.devices import Actuator, Sensor
+from repro.kernel.interrupts import InterruptSource, PeriodicInterrupt
+from repro.kernel.node import Node
+from repro.kernel.sync import KBarrier, KMutex, KSemaphore
+from repro.kernel.priorities import (
+    PRIO_IDLE,
+    PRIO_MAX,
+    PRIO_MIN_APPL,
+    PRIO_SCHEDULER,
+)
+from repro.kernel.threads import (
+    Compute,
+    KThread,
+    Sleep,
+    ThreadState,
+    WaitEvent,
+)
+
+__all__ = [
+    "Actuator",
+    "ByzantineClock",
+    "Compute",
+    "Cpu",
+    "HardwareClock",
+    "InterruptSource",
+    "KBarrier",
+    "KMutex",
+    "KSemaphore",
+    "KThread",
+    "Node",
+    "Sensor",
+    "PeriodicInterrupt",
+    "PRIO_IDLE",
+    "PRIO_MAX",
+    "PRIO_MIN_APPL",
+    "PRIO_SCHEDULER",
+    "Sleep",
+    "ThreadState",
+    "WaitEvent",
+]

@@ -1,0 +1,97 @@
+"""Per-node hardware clocks with bounded drift.
+
+The paper's availability goal covers "Byzantine failures for clocks"
+(§2.1) and ships the Lundelius–Lynch clock-synchronisation algorithm as
+a service.  Both need a clock model: each node owns a
+:class:`HardwareClock` whose local time advances at a slightly wrong
+rate (``1 + drift`` with ``|drift| <= rho``), plus a software adjustment
+the synchronisation service updates.
+
+:class:`ByzantineClock` models an arbitrarily faulty clock: it returns
+values produced by an adversarial function, which the synchronisation
+algorithm must tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+
+#: Drift is expressed as a fraction (e.g. 50e-6 for 50 ppm).
+DEFAULT_DRIFT_BOUND = 100e-6
+
+
+class HardwareClock:
+    """A drifting local clock over simulated real time.
+
+    ``local_time = offset + adjustment + (1 + drift) * real_time``
+
+    ``offset`` and ``drift`` are physical characteristics fixed at
+    construction; ``adjustment`` is the software correction that the
+    clock-synchronisation service may change at run time.
+    """
+
+    def __init__(self, sim: Simulator, drift: float = 0.0, offset: int = 0):
+        if abs(drift) >= 1.0:
+            raise ValueError(f"unphysical drift {drift}")
+        self.sim = sim
+        self.drift = drift
+        self.offset = int(offset)
+        self.adjustment = 0
+
+    def read(self) -> int:
+        """Current local clock value in microseconds (integer)."""
+        real = self.sim.now
+        return self.offset + self.adjustment + real + int(self.drift * real)
+
+    def adjust(self, delta: int) -> None:
+        """Apply a software correction of ``delta`` microseconds."""
+        self.adjustment += int(delta)
+
+    def local_to_real(self, local: int) -> int:
+        """Real simulated time at which this clock will read ``local``.
+
+        Inverts :meth:`read`; returns a value >= now when the local time
+        is in this clock's future, clamped to now otherwise.
+        """
+        base = local - self.offset - self.adjustment
+        real = int(base / (1.0 + self.drift))
+        # The integer truncation in read() can leave us one tick off;
+        # nudge until read() at `real` is >= local.
+        while self.offset + self.adjustment + real + int(self.drift * real) < local:
+            real += 1
+        return max(real, self.sim.now)
+
+    def __repr__(self) -> str:
+        return (f"<HardwareClock drift={self.drift:+.2e} "
+                f"offset={self.offset} adj={self.adjustment}>")
+
+
+class ByzantineClock(HardwareClock):
+    """A clock exhibiting arbitrary (Byzantine) failure.
+
+    ``behaviour(real_time)`` computes the reported local time; by
+    default the clock jumps around erratically but deterministically.
+    The physical fields are retained so a Byzantine clock can "recover"
+    by swapping back to honest reads in fault-campaign scenarios.
+    """
+
+    def __init__(self, sim: Simulator, drift: float = 0.0, offset: int = 0,
+                 behaviour: Optional[Callable[[int], int]] = None):
+        super().__init__(sim, drift, offset)
+        self._behaviour = behaviour or self._default_behaviour
+        self.byzantine = True
+
+    @staticmethod
+    def _default_behaviour(real: int) -> int:
+        # Deterministic, wildly wrong: alternates huge leads and lags.
+        if (real // 1_000) % 2 == 0:
+            return real + 10_000_000
+        return max(0, real - 7_000_000)
+
+    def read(self) -> int:
+        """Current reported clock value in microseconds."""
+        if self.byzantine:
+            return int(self._behaviour(self.sim.now))
+        return super().read()

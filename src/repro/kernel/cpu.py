@@ -1,0 +1,184 @@
+"""Preemptive priority CPU dispatching with preemption thresholds.
+
+This module implements the "running" rule of paper §3.2.1: among the
+runnable threads the CPU runs the one with the highest priority, except
+that a thread already running is only preempted by a priority strictly
+above its *preemption threshold*.  Kernel activities use threshold
+``PRIO_MAX`` and therefore never get preempted by applications.
+
+The context-switch cost is explicit (it is part of the ``c_local`` /
+``c_start_act`` dispatcher constants that §4.1 folds into application
+WCETs) and billed to the "kernel" account.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.kernel.threads import KThread
+
+
+class Cpu:
+    """One processor: schedules submitted threads preemptively."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, node_id: str,
+                 context_switch_cost: int = 0):
+        self.sim = sim
+        self.tracer = tracer
+        self.node_id = node_id
+        self.context_switch_cost = int(context_switch_cost)
+        self._ready: List["KThread"] = []
+        self._running: Optional["KThread"] = None
+        self._last_dispatched: Optional["KThread"] = None
+        #: Real time at which the running thread starts making progress
+        #: (dispatch time plus any context-switch overhead).
+        self._progress_start = 0
+        self._completion_token = 0
+        self._ready_counter = 0
+        #: Busy microseconds per accounting category.
+        self.busy_time: Dict[str, int] = {}
+        self._busy_total = 0
+
+    # -- public interface -------------------------------------------------
+
+    def submit(self, thread: "KThread") -> None:
+        """Register ``thread`` (whose ``_remaining`` is set) as wanting CPU."""
+        if thread in self._ready or thread is self._running:
+            raise RuntimeError(f"{thread!r} submitted twice")
+        self._ready_counter += 1
+        thread._ready_seq = self._ready_counter
+        self._ready.append(thread)
+        self._schedule()
+
+    def withdraw(self, thread: "KThread") -> None:
+        """Remove ``thread`` from contention (blocked or killed)."""
+        # Leaving the Run Queue voluntarily (block/suspend/kill) drops
+        # the threshold elevation; preemption does not.
+        thread._pt_boosted = False
+        if thread is self._running:
+            self._checkpoint()
+            self._running = None
+            self.tracer.record("cpu", "withdraw", node=self.node_id,
+                               thread=thread.name)
+            self._schedule()
+        elif thread in self._ready:
+            self._ready.remove(thread)
+
+    def priorities_changed(self) -> None:
+        """Re-evaluate dispatching after a priority/threshold update."""
+        self._schedule()
+
+    @property
+    def running(self) -> Optional["KThread"]:
+        """The thread currently holding the CPU (None if idle)."""
+        return self._running
+
+    @property
+    def utilization_time(self) -> int:
+        """Total busy microseconds so far (all categories)."""
+        return self._busy_total
+
+    # -- scheduling core ----------------------------------------------------
+
+    @staticmethod
+    def _selection_priority(thread: "KThread") -> int:
+        """Priority used to pick among ready threads.
+
+        Preemption-threshold semantics (Wang & Saksena): once a job has
+        started its current compute block, its effective priority is
+        its threshold — and it keeps it while preempted by something
+        above the threshold (e.g. the scheduler task), so it resumes
+        ahead of equal-threshold newcomers instead of being overtaken.
+        """
+        if getattr(thread, "_pt_boosted", False):
+            return thread.effective_threshold
+        return thread.priority
+
+    def _top_ready(self) -> Optional["KThread"]:
+        best = None
+        best_key = None
+        for thread in self._ready:
+            key = (self._selection_priority(thread), -thread._ready_seq)
+            if best is None or key > best_key:
+                best = thread
+                best_key = key
+        return best
+
+    def _schedule(self) -> None:
+        from repro.kernel.threads import ThreadState
+
+        if self._running is not None:
+            challenger = self._top_ready()
+            if (challenger is not None and
+                    self._selection_priority(challenger) >
+                    self._running.effective_threshold):
+                preempted = self._running
+                self._checkpoint()
+                self._running = None
+                preempted._set_state(ThreadState.READY)
+                self._ready.append(preempted)
+                self.tracer.record("cpu", "preempt", node=self.node_id,
+                                   thread=preempted.name, by=challenger.name)
+            else:
+                return
+        nxt = self._top_ready()
+        if nxt is None:
+            return
+        self._ready.remove(nxt)
+        self._dispatch(nxt)
+
+    def _dispatch(self, thread: "KThread") -> None:
+        from repro.kernel.threads import ThreadState
+
+        self._running = thread
+        thread._pt_boosted = True
+        thread._set_state(ThreadState.RUNNING)
+        overhead = 0
+        if self.context_switch_cost and thread is not self._last_dispatched:
+            overhead = self.context_switch_cost
+            self._account("kernel", overhead)
+        self._last_dispatched = thread
+        self._progress_start = self.sim.now + overhead
+        self._completion_token += 1
+        token = self._completion_token
+        finish_in = overhead + thread._remaining
+        self.tracer.record("cpu", "dispatch", node=self.node_id,
+                           thread=thread.name, remaining=thread._remaining,
+                           priority=thread.priority)
+        self.sim.call_in(finish_in, lambda: self._on_completion(token, thread))
+
+    def _on_completion(self, token: int, thread: "KThread") -> None:
+        if token != self._completion_token or thread is not self._running:
+            return  # stale timer: the thread was preempted or withdrawn
+        progressed = self.sim.now - self._progress_start
+        self._account(thread._category, progressed)
+        thread.cpu_time += progressed
+        thread._pt_boosted = False
+        self._running = None
+        self.tracer.record("cpu", "complete", node=self.node_id,
+                           thread=thread.name)
+        thread._compute_finished()
+        # The thread's _advance may have resubmitted work already; only
+        # re-dispatch if the CPU is still idle.
+        if self._running is None:
+            self._schedule()
+
+    def _checkpoint(self) -> None:
+        """Bank the running thread's progress before it loses the CPU."""
+        assert self._running is not None
+        self._completion_token += 1  # invalidate the pending completion
+        progressed = max(0, self.sim.now - self._progress_start)
+        progressed = min(progressed, self._running._remaining)
+        self._running._remaining -= progressed
+        self._running.cpu_time += progressed
+        self._account(self._running._category, progressed)
+
+    def _account(self, category: str, amount: int) -> None:
+        if amount <= 0:
+            return
+        self.busy_time[category] = self.busy_time.get(category, 0) + amount
+        self._busy_total += amount

@@ -1,0 +1,117 @@
+"""Peripheral devices: sensors (captors) and actuators.
+
+The paper's distribution property covers "the inherent distribution of
+components (e.g. CPUs, captors, actuators)" (§2.1), and peripheral
+devices appear as examples of resources (§3.1.1).  These simulated
+devices close the loop for control applications:
+
+* :class:`Sensor` — a value source sampled either on demand (polling,
+  costs ``read_cost`` CPU) or autonomously at a period, raising the
+  node's device interrupt on each new sample (the "activation ...
+  triggered when an interrupt is triggered" path of §3.1.2),
+* :class:`Actuator` — a command sink recording (time, value) pairs and
+  actuation-jitter statistics, the signal control engineers actually
+  care about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.kernel.interrupts import InterruptSource
+from repro.kernel.node import Node
+
+
+class Sensor:
+    """A sampled physical quantity attached to one node.
+
+    ``signal(time)`` models the physical value.  With ``period`` set,
+    :meth:`start` samples autonomously and raises a dedicated interrupt
+    per sample; handlers (e.g. a dispatcher activation) see the sample.
+    """
+
+    def __init__(self, node: Node, name: str,
+                 signal: Callable[[int], Any],
+                 period: Optional[int] = None,
+                 irq_wcet: int = 20, read_cost: int = 5):
+        self.node = node
+        self.name = name
+        self.signal = signal
+        self.period = period
+        self.read_cost = read_cost
+        self.samples_taken = 0
+        self.last_sample: Optional[Tuple[int, Any]] = None
+        self._running = False
+        gap = period // 2 if period else irq_wcet
+        self.irq = InterruptSource(node, f"sensor:{name}", irq_wcet,
+                                   pseudo_period=max(1, irq_wcet, gap))
+
+    def read(self) -> Any:
+        """Polling read: the current physical value (instantaneous at
+        the model level; charge ``read_cost`` in the calling action's
+        WCET)."""
+        value = self.signal(self.node.sim.now)
+        self.samples_taken += 1
+        self.last_sample = (self.node.sim.now, value)
+        return value
+
+    def on_sample(self, handler: Callable[[Any], None]) -> None:
+        """Run ``handler(sample)`` after each autonomous sample's
+        interrupt is serviced."""
+        previous = self.irq.handler
+
+        def chained(payload: Any) -> None:
+            if previous is not None:
+                previous(payload)
+            handler(payload)
+
+        self.irq.handler = chained
+
+    def start(self) -> None:
+        """Begin autonomous periodic sampling (requires ``period``)."""
+        if self.period is None:
+            raise ValueError(f"sensor {self.name} has no sampling period")
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop this activity (idempotent)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running or self.node.crashed:
+            return
+        value = self.read()
+        self.irq.fire(value)
+        self.node.sim.call_in(self.period, self._tick)
+
+
+class Actuator:
+    """A command sink with jitter accounting."""
+
+    def __init__(self, node: Node, name: str, write_cost: int = 5):
+        self.node = node
+        self.name = name
+        self.write_cost = write_cost
+        self.commands: List[Tuple[int, Any]] = []
+
+    def actuate(self, value: Any) -> None:
+        """Apply a command now (charge ``write_cost`` in the caller's
+        action WCET)."""
+        self.commands.append((self.node.sim.now, value))
+        self.node.tracer.record("device", "actuate", node=self.node.node_id,
+                                actuator=self.name)
+
+    def jitter(self) -> int:
+        """Max - min inter-command spacing (0 with < 3 commands)."""
+        if len(self.commands) < 3:
+            return 0
+        gaps = [b - a for (a, _v1), (b, _v2)
+                in zip(self.commands, self.commands[1:])]
+        return max(gaps) - min(gaps)
+
+    def last(self) -> Optional[Tuple[int, Any]]:
+        """The most recent entry, or None."""
+        return self.commands[-1] if self.commands else None

@@ -1,0 +1,30 @@
+"""The HADES priority band.
+
+The paper (§3.1.2) defines priorities in the interval
+``[prio_min_appl, prio_max]``.  The highest level ``prio_max`` is
+reserved for kernel mechanisms (and interrupt handlers); schedulers run
+just below it so that they always preempt the application threads they
+manage; applications live in ``[PRIO_MIN_APPL, PRIO_MAX_APPL]``.
+
+Larger numbers mean higher priority throughout the code base.
+"""
+
+PRIO_MAX = 1_000
+"""Reserved for kernel mechanisms and interrupt handlers (paper's prio_max)."""
+
+PRIO_SCHEDULER = 999
+"""Scheduler tasks: statically the highest priority below the kernel (§3.2.2)."""
+
+PRIO_MAX_APPL = 998
+"""Highest priority assignable to an application Code_EU."""
+
+PRIO_MIN_APPL = 1
+"""Lowest application priority (paper's prio_min_appl)."""
+
+PRIO_IDLE = 0
+"""Below every application thread; used for background/best-effort work."""
+
+
+def clamp_application_priority(priority: int) -> int:
+    """Clamp ``priority`` into the application band."""
+    return max(PRIO_MIN_APPL, min(PRIO_MAX_APPL, priority))

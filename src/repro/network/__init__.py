@@ -1,0 +1,45 @@
+"""Simulated network substrate (substitute for the ATM testbed).
+
+The paper's prototype used "an ATM network of Pentium workstations"
+(§2.2.1) and models network management as an independent HADES task
+``T_network`` (§3.1).  The fault model covers "performance and omission
+failures for the communication network" (§2.1).
+
+This package provides the corresponding simulated substrate:
+
+* :class:`~repro.network.link.Link` — a unidirectional channel with
+  *bounded* latency (``[min_latency, max_latency]``), per-byte cost and
+  injectable omission / performance faults,
+* :class:`~repro.network.network.Network` — the set of nodes and links
+  (full mesh by default), message routing and delivery through the
+  destination node's network-card interrupt,
+* :class:`~repro.network.interface.NetworkInterface` — per-node send /
+  receive endpoint with inbox and receive callbacks.
+
+Timing guarantees offered to upper layers: if neither endpoint crashes
+and the message is not hit by an omission fault, a message sent at
+``t`` is delivered no later than ``t + max_latency + size_cost * size +
+irq_wcet`` — the bound the time-bounded communication services build on.
+"""
+
+from repro.network.interface import NetworkInterface
+from repro.network.link import (
+    DeliveryOutcome,
+    Link,
+    LinkFault,
+    OmissionFault,
+    PerformanceFault,
+)
+from repro.network.messages import Message
+from repro.network.network import Network
+
+__all__ = [
+    "DeliveryOutcome",
+    "Link",
+    "LinkFault",
+    "Message",
+    "Network",
+    "NetworkInterface",
+    "OmissionFault",
+    "PerformanceFault",
+]

@@ -1,0 +1,206 @@
+"""Point-to-point links with bounded latency and injectable faults.
+
+A link delivers each message after ``base_latency + size_cost * size +
+jitter`` microseconds, where jitter is drawn deterministically from a
+seeded RNG in ``[0, jitter_bound]``.  The *guaranteed* bound used by
+feasibility analyses is :attr:`Link.max_latency`; a correct link never
+exceeds it.
+
+Faults (paper §2.1: omission and performance failures for the
+communication network) are injected through :class:`LinkFault` hooks:
+
+* :class:`OmissionFault` drops messages (probabilistically or by plan),
+* :class:`PerformanceFault` delays messages beyond the bound — the
+  failure mode that timing-failure detection must catch.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.network.messages import Message
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.network.interface import NetworkInterface
+
+
+class DeliveryOutcome(enum.Enum):
+    """Possible fates of a transmitted message."""
+    DELIVERED = "delivered"
+    DROPPED = "dropped"          # omission fault
+    LATE = "late"                # performance fault (delivered past bound)
+    DST_CRASHED = "dst_crashed"  # receiver was down at delivery time
+
+
+class LinkFault:
+    """Base fault hook: inspects a message, returns (drop?, extra_delay)."""
+
+    def apply(self, message: Message) -> Tuple[bool, int]:
+        """Apply this operation; returns its result."""
+        raise NotImplementedError
+
+
+class OmissionFault(LinkFault):
+    """Drops messages, probabilistically and/or by explicit sequence plan.
+
+    ``probability`` applies an i.i.d. coin per message using the given
+    deterministic RNG; ``drop_ids`` drops specific message ids (useful
+    for adversarial worst-case tests).  ``max_consecutive`` optionally
+    caps runs of drops, matching the bounded-omission assumption that
+    time-bounded reliable broadcast protocols rely on.
+    """
+
+    def __init__(self, probability: float = 0.0,
+                 rng: Optional[random.Random] = None,
+                 drop_ids: Optional[set] = None,
+                 max_consecutive: Optional[int] = None):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        if probability > 0 and rng is None:
+            raise ValueError("probabilistic omission needs an explicit rng")
+        self.probability = probability
+        self.rng = rng
+        self.drop_ids = drop_ids or set()
+        self.max_consecutive = max_consecutive
+        self._run = 0
+        self.dropped = 0
+
+    def apply(self, message: Message) -> Tuple[bool, int]:
+        """Apply this operation; returns its result."""
+        drop = message.msg_id in self.drop_ids
+        if not drop and self.probability > 0:
+            drop = self.rng.random() < self.probability
+        if drop and self.max_consecutive is not None:
+            if self._run >= self.max_consecutive:
+                drop = False
+        self._run = self._run + 1 if drop else 0
+        if drop:
+            self.dropped += 1
+        return drop, 0
+
+
+class PerformanceFault(LinkFault):
+    """Delays messages past the link's guaranteed bound."""
+
+    def __init__(self, extra_delay: int, probability: float = 1.0,
+                 rng: Optional[random.Random] = None):
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        if probability < 1.0 and rng is None:
+            raise ValueError("probabilistic delay needs an explicit rng")
+        self.extra_delay = int(extra_delay)
+        self.probability = probability
+        self.rng = rng
+        self.delayed = 0
+
+    def apply(self, message: Message) -> Tuple[bool, int]:
+        """Apply this operation; returns its result."""
+        hit = self.probability >= 1.0 or self.rng.random() < self.probability
+        if hit:
+            self.delayed += 1
+            return False, self.extra_delay
+        return False, 0
+
+
+class Link:
+    """A unidirectional channel from ``src`` to ``dst``."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, src: str, dst: str,
+                 base_latency: int = 50, size_cost_per_byte: int = 0,
+                 jitter_bound: int = 0,
+                 rng: Optional[random.Random] = None, fifo: bool = True):
+        if base_latency < 0 or jitter_bound < 0 or size_cost_per_byte < 0:
+            raise ValueError("latency parameters must be >= 0")
+        if jitter_bound > 0 and rng is None:
+            raise ValueError("jitter needs an explicit rng")
+        self.sim = sim
+        self.tracer = tracer
+        self.src = src
+        self.dst = dst
+        self.base_latency = int(base_latency)
+        self.size_cost_per_byte = int(size_cost_per_byte)
+        self.jitter_bound = int(jitter_bound)
+        self.rng = rng
+        self.fifo = fifo
+        self.up = True
+        self.faults: List[LinkFault] = []
+        self._last_delivery = 0
+        self.stats = {outcome: 0 for outcome in DeliveryOutcome}
+        self._on_deliver: Optional[Callable[[Message], None]] = None
+
+    def guaranteed_bound(self, size: int) -> int:
+        """Worst-case correct transfer delay for a ``size``-byte message."""
+        return (self.base_latency + self.size_cost_per_byte * size
+                + self.jitter_bound)
+
+    def add_fault(self, fault: LinkFault) -> None:
+        """Attach a fault hook to this link."""
+        self.faults.append(fault)
+
+    def clear_faults(self) -> None:
+        """Remove every fault hook from this link."""
+        self.faults.clear()
+
+    def connect(self, deliver: Callable[[Message], None]) -> None:
+        """Set the delivery callback (normally the dst NetworkInterface)."""
+        self._on_deliver = deliver
+
+    def transmit(self, message: Message) -> DeliveryOutcome:
+        """Send ``message``; returns the *planned* outcome.
+
+        The outcome is decided at send time (deterministically, from the
+        injected faults) but only observable to the receiver at delivery
+        time, as on a real network.
+        """
+        message.send_time = self.sim.now
+        if not self.up:
+            self.stats[DeliveryOutcome.DROPPED] += 1
+            self.tracer.record("network", "drop", link=f"{self.src}->{self.dst}",
+                               msg=message.msg_id, reason="link_down")
+            return DeliveryOutcome.DROPPED
+
+        extra = 0
+        for fault in self.faults:
+            drop, delay = fault.apply(message)
+            if drop:
+                self.stats[DeliveryOutcome.DROPPED] += 1
+                self.tracer.record("network", "drop",
+                                   link=f"{self.src}->{self.dst}",
+                                   msg=message.msg_id, reason="omission")
+                return DeliveryOutcome.DROPPED
+            extra += delay
+
+        jitter = self.rng.randrange(0, self.jitter_bound + 1) if self.jitter_bound else 0
+        delay = (self.base_latency + self.size_cost_per_byte * message.size
+                 + jitter + extra)
+        deliver_at = self.sim.now + delay
+        if self.fifo and deliver_at < self._last_delivery:
+            deliver_at = self._last_delivery
+        self._last_delivery = deliver_at
+
+        outcome = (DeliveryOutcome.LATE if extra > 0
+                   else DeliveryOutcome.DELIVERED)
+        self.sim.call_at(deliver_at, lambda: self._deliver(message, outcome))
+        return outcome
+
+    def _deliver(self, message: Message, outcome: DeliveryOutcome) -> None:
+        message.deliver_time = self.sim.now
+        if self._on_deliver is None:
+            self.stats[DeliveryOutcome.DST_CRASHED] += 1
+            return
+        self.stats[outcome] += 1
+        self.tracer.record("network", "deliver",
+                           link=f"{self.src}->{self.dst}",
+                           msg=message.msg_id, kind=message.kind,
+                           latency=message.latency)
+        self._on_deliver(message)
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.src}->{self.dst} "
+                f"bound={self.guaranteed_bound(0)}+{self.size_cost_per_byte}/B>")

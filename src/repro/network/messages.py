@@ -1,0 +1,44 @@
+"""Network message representation."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A datagram travelling between two nodes.
+
+    ``kind`` is a free-form protocol tag ("app", "rbcast", "clocksync",
+    "heartbeat", ...); ``size`` is in bytes and feeds the per-byte
+    transmission cost of the link.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    kind: str = "app"
+    size: int = 64
+    send_time: int = -1
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    #: Set by the link at delivery time.
+    deliver_time: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative message size {self.size}")
+
+    @property
+    def latency(self) -> int:
+        """Observed transfer delay; -1 until delivered."""
+        if self.deliver_time < 0 or self.send_time < 0:
+            return -1
+        return self.deliver_time - self.send_time
+
+    def __repr__(self) -> str:
+        return (f"<Message #{self.msg_id} {self.src}->{self.dst} "
+                f"kind={self.kind} size={self.size}>")

@@ -1,0 +1,135 @@
+"""The network: nodes, links, routing.
+
+By default the network is a full mesh of identical links — the shape of
+the paper's ATM switch fabric: every node pair communicates directly
+with the same bounded latency.  Individual links can be replaced,
+degraded or partitioned for fault-injection campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kernel.node import Node
+from repro.network.interface import NetworkInterface
+from repro.network.link import Link
+from repro.network.messages import Message
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class Network:
+    """A set of nodes connected by unidirectional links."""
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None,
+                 base_latency: int = 50, size_cost_per_byte: int = 0,
+                 jitter_bound: int = 0, seed: int = 0):
+        self.sim = sim
+        self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
+        if self.tracer._clock is None:
+            self.tracer.bind_clock(lambda: sim.now)
+        self.base_latency = base_latency
+        self.size_cost_per_byte = size_cost_per_byte
+        self.jitter_bound = jitter_bound
+        self._seed = seed
+        self.nodes: Dict[str, Node] = {}
+        self.interfaces: Dict[str, NetworkInterface] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.lost_no_route = 0
+        # Per-network message ids keep traces identical across runs in
+        # one process (the module-global Message counter does not).
+        self._msg_counter = 0
+
+    def next_msg_id(self) -> int:
+        """Allocate the next network-unique message id."""
+        self._msg_counter += 1
+        return self._msg_counter
+
+    # -- topology construction ------------------------------------------------
+
+    def add_node(self, node: Node) -> NetworkInterface:
+        """Attach ``node``, creating links to and from every existing node."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        interface = NetworkInterface(self, node)
+        for other_id in self.nodes:
+            self._make_link(node.node_id, other_id)
+            self._make_link(other_id, node.node_id)
+        self.nodes[node.node_id] = node
+        self.interfaces[node.node_id] = interface
+        return interface
+
+    def _make_link(self, src: str, dst: str) -> Link:
+        rng = None
+        if self.jitter_bound > 0:
+            # One RNG per link, derived deterministically from the seed.
+            rng = random.Random(f"{self._seed}:{src}->{dst}")
+        link = Link(self.sim, self.tracer, src, dst,
+                    base_latency=self.base_latency,
+                    size_cost_per_byte=self.size_cost_per_byte,
+                    jitter_bound=self.jitter_bound, rng=rng)
+        self.links[(src, dst)] = link
+        return link
+
+    def link(self, src: str, dst: str) -> Link:
+        """The link object for the (src, dst) pair."""
+        return self.links[(src, dst)]
+
+    def connect_all(self) -> None:
+        """Wire every link to its destination interface.
+
+        Called automatically by :meth:`route`; exposed for explicitness
+        in set-up code.
+        """
+        for (src, dst), link in self.links.items():
+            interface = self.interfaces.get(dst)
+            if interface is not None:
+                link.connect(interface._deliver_from_link)
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, message: Message) -> None:
+        """Carry ``message`` over the (src, dst) link."""
+        key = (message.src, message.dst)
+        link = self.links.get(key)
+        if link is None:
+            self.lost_no_route += 1
+            self.tracer.record("network", "no_route", src=message.src,
+                               dst=message.dst, msg=message.msg_id)
+            return
+        if link._on_deliver is None:
+            interface = self.interfaces.get(message.dst)
+            if interface is not None:
+                link.connect(interface._deliver_from_link)
+        link.transmit(message)
+
+    # -- fault helpers --------------------------------------------------------
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Take down every link crossing the two groups."""
+        group_a, group_b = set(group_a), set(group_b)
+        for (src, dst), link in self.links.items():
+            if ((src in group_a and dst in group_b)
+                    or (src in group_b and dst in group_a)):
+                link.up = False
+
+    def heal(self) -> None:
+        """Bring every link back up."""
+        for link in self.links.values():
+            link.up = True
+
+    # -- properties used by timing analyses --------------------------------------
+
+    def max_message_delay(self, size: int = 64) -> int:
+        """Network-wide worst-case correct transfer delay for ``size`` bytes."""
+        if not self.links:
+            return 0
+        return max(link.guaranteed_bound(size) for link in self.links.values())
+
+    def node_ids(self) -> List[str]:
+        """Sorted ids of the attached nodes."""
+        return sorted(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self.nodes)} links={len(self.links)}>"

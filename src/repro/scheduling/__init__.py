@@ -1,0 +1,57 @@
+"""Scheduling policies — the application-domain-dedicated components.
+
+The paper's flexibility claim rests on isolating everything that
+depends on application task characteristics into interchangeable
+*scheduler* components built over the generic dispatcher (§2.2.1).
+This package provides the policies the paper reports implementing:
+
+* priority-based: Rate Monotonic (:mod:`repro.scheduling.rm`),
+  Deadline Monotonic (:mod:`repro.scheduling.dm`),
+  Earliest Deadline First (:mod:`repro.scheduling.edf`),
+* planning-based: a Spring-style guarantee scheduler
+  (:mod:`repro.scheduling.spring`),
+* protocols avoiding multiple priority inversions: Priority Ceiling
+  (:mod:`repro.scheduling.pcp`) and Stack Resource Policy
+  (:mod:`repro.scheduling.srp`),
+* a best-effort FIFO baseline (:mod:`repro.scheduling.fifo`) for the
+  cohabitation scenario discussed in §2.2.1.
+
+All of them use only the public scheduler interface: the shared FIFO
+notification queue and the dispatcher primitive.
+"""
+
+from repro.scheduling.edf import EDFScheduler
+from repro.scheduling.fifo import FIFOScheduler
+from repro.scheduling.fixed_priority import (
+    DMScheduler,
+    FixedPriorityScheduler,
+    RMScheduler,
+)
+from repro.scheduling.offline_plan import (
+    Job,
+    Placement,
+    StaticPlan,
+    build_plan,
+    plan_to_system,
+)
+from repro.scheduling.pcp import DynamicPCPProtocol, PCPProtocol
+from repro.scheduling.spring import SpringScheduler
+from repro.scheduling.srp import SRPProtocol, preemption_levels
+
+__all__ = [
+    "DMScheduler",
+    "Job",
+    "Placement",
+    "StaticPlan",
+    "build_plan",
+    "plan_to_system",
+    "EDFScheduler",
+    "FIFOScheduler",
+    "FixedPriorityScheduler",
+    "DynamicPCPProtocol",
+    "PCPProtocol",
+    "RMScheduler",
+    "SpringScheduler",
+    "SRPProtocol",
+    "preemption_levels",
+]

@@ -1,0 +1,66 @@
+"""Earliest Deadline First via the scheduler/dispatcher protocol.
+
+This is the policy of the paper's Figure 2: on every thread activation
+(``Atv``) the scheduler reorders live threads by absolute deadline and
+uses the dispatcher primitive to give the earliest deadline the highest
+priority; ``Trm`` removes the finished thread from the live set (the
+figure shows EDF ignoring it, because nothing needs reordering — we do
+the same unless priorities must be compacted).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.notifications import Notification, NotificationKind
+from repro.core.scheduler_api import SchedulerBase
+from repro.kernel.priorities import PRIO_MAX_APPL, PRIO_MIN_APPL
+
+#: Deadline used for units whose task declares none (runs at background
+#: priority under EDF).
+_NO_DEADLINE = 2 ** 62
+
+
+class EDFScheduler(SchedulerBase):
+    """Dynamic-priority EDF for one processor (``scope`` = node id)."""
+
+    policy_name = "edf"
+
+    def __init__(self, scope: str, w_sched: int = 2,
+                 home_node: Optional[str] = None, manage_only=None):
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched,
+                         manage_only=manage_only)
+        self._live: List = []  # EUInstance, insertion ordered
+
+    @staticmethod
+    def _deadline_of(eui) -> int:
+        if eui.deadline is not None:
+            return eui.deadline
+        if eui.instance.abs_deadline is not None:
+            return eui.instance.abs_deadline
+        return _NO_DEADLINE
+
+    def handle(self, notification: Notification) -> None:
+        """Reorder live units by absolute deadline (Atv) / retire (Trm)."""
+        eui = notification.eu_instance
+        if notification.kind is NotificationKind.ATV:
+            self._live.append(eui)
+            self._reassign()
+        elif notification.kind is NotificationKind.TRM:
+            if eui in self._live:
+                self._live.remove(eui)
+        # Rac/Rre are ignored by plain EDF (Figure 2's behaviour); pair
+        # with SRPProtocol for resource-sharing workloads.
+
+    def _reassign(self) -> None:
+        """Map deadline order onto the application priority band."""
+        from repro.core.dispatcher import EUState
+
+        self._live = [eui for eui in self._live
+                      if eui.state not in (EUState.DONE, EUState.ABORTED)]
+        # Stable sort: ties keep activation order.
+        ordered = sorted(self._live, key=self._deadline_of)
+        for rank, eui in enumerate(ordered):
+            priority = max(PRIO_MIN_APPL, PRIO_MAX_APPL - rank)
+            if eui.priority != priority:
+                self.set_priority(eui, priority)

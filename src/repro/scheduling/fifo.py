@@ -1,0 +1,40 @@
+"""Best-effort FIFO scheduler.
+
+The §2.2.1 cohabitation discussion restricts mixing to "a single
+scheduler implementing a feasibility test and any number of best-effort
+schedulers".  This is the canonical best-effort policy: every thread
+gets the same background priority, so the CPU serves them in activation
+order (the kernel breaks priority ties FIFO).  No feasibility test, no
+guarantees — useful as the baseline the guaranteed policies are
+compared against, and as the "any number of best-effort schedulers"
+cohabitant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.notifications import Notification, NotificationKind
+from repro.core.scheduler_api import SchedulerBase
+from repro.kernel.priorities import PRIO_MIN_APPL
+
+
+class FIFOScheduler(SchedulerBase):
+    """Run-to-completion, activation order, background priority."""
+
+    policy_name = "fifo"
+
+    def __init__(self, scope: Optional[str] = None, priority: int = PRIO_MIN_APPL,
+                 home_node: Optional[str] = None, w_sched: int = 1,
+                 manage_only=None):
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched,
+                         manage_only=manage_only)
+        self.priority = priority
+
+    def handle(self, notification: Notification) -> None:
+        """Treat one notification per this policy."""
+        if notification.kind is NotificationKind.ATV:
+            eui = notification.eu_instance
+            if eui.priority != self.priority:
+                self.set_priority(eui, self.priority,
+                                  preemption_threshold=self.priority)

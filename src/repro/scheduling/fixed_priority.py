@@ -1,0 +1,107 @@
+"""Fixed-priority schedulers: Rate Monotonic and Deadline Monotonic.
+
+"A static priority assignation can be used to implement static
+priority-based scheduling algorithms like RM" (§3.1.2).  These
+schedulers compute the assignment once, at attach time, and write it
+into the Code_EU attributes of the registered tasks, so every future
+instance is created directly with the right priority (no activation
+race).  ``Atv``/``Trm`` notifications still flow to the scheduler task
+(whose per-notification cost is what the §5.3 test charges) but need no
+reaction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.attributes import Periodic, Sporadic
+from repro.core.heug import Task
+from repro.core.notifications import Notification
+from repro.core.scheduler_api import SchedulerBase
+from repro.kernel.priorities import PRIO_MAX_APPL, PRIO_MIN_APPL
+
+
+class FixedPriorityScheduler(SchedulerBase):
+    """Base for policies that derive one static priority per task.
+
+    Subclasses provide ``key(task)``: tasks are ranked by ascending key
+    (smaller key = higher priority).  Ties break by task name for
+    determinism.
+    """
+
+    policy_name = "fixed"
+
+    def __init__(self, tasks: Sequence[Task], scope: Optional[str] = None,
+                 home_node: Optional[str] = None, w_sched: int = 1,
+                 manage_only: Optional[set] = None):
+        if manage_only is None:
+            # A fixed-priority scheduler naturally manages exactly the
+            # tasks whose priorities it assigned.
+            manage_only = {task.name for task in tasks}
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched,
+                         manage_only=manage_only)
+        self.tasks = list(tasks)
+        self.priority_map: Dict[str, int] = {}
+
+    def key(self, task: Task) -> int:
+        """Ranking key: smaller = higher priority (policy-specific)."""
+        raise NotImplementedError
+
+    def assign_priorities(self) -> Dict[str, int]:
+        """Rank tasks and return the {task name: priority} map."""
+        ranked = sorted(self.tasks, key=lambda t: (self.key(t), t.name))
+        mapping: Dict[str, int] = {}
+        for rank, task in enumerate(ranked):
+            mapping[task.name] = max(PRIO_MIN_APPL, PRIO_MAX_APPL - rank)
+        return mapping
+
+    def on_attach(self) -> None:
+        """Write the static assignment into the tasks' EU attributes."""
+        self.priority_map = self.assign_priorities()
+        for task in self.tasks:
+            priority = self.priority_map[task.name]
+            for eu in task.code_eus():
+                eu.attrs.prio = priority
+                if eu.attrs.pt is None or eu.attrs.pt < priority:
+                    eu.attrs.pt = priority
+
+    def handle(self, notification: Notification) -> None:
+        """Static policy: notifications need (almost) no reaction."""
+        # Static assignment: nothing to adjust at run time.  If a task
+        # unknown at attach time shows up, give it background priority.
+        eui = notification.eu_instance
+        if (eui.instance.task.name not in self.priority_map
+                and eui.priority > PRIO_MIN_APPL):
+            self.set_priority(eui, PRIO_MIN_APPL)
+
+
+class RMScheduler(FixedPriorityScheduler):
+    """Rate Monotonic: shorter period (or pseudo-period) = higher priority.
+
+    Requires every task to have a periodic or sporadic arrival law
+    (Liu & Layland's model).
+    """
+
+    policy_name = "rm"
+
+    def key(self, task: Task) -> int:
+        """Ranking key for this policy (smaller = higher priority)."""
+        law = task.arrival
+        if isinstance(law, Periodic):
+            return law.period
+        if isinstance(law, Sporadic):
+            return law.pseudo_period
+        raise ValueError(
+            f"RM needs periodic/sporadic tasks; {task.name} is neither")
+
+
+class DMScheduler(FixedPriorityScheduler):
+    """Deadline Monotonic: shorter relative deadline = higher priority."""
+
+    policy_name = "dm"
+
+    def key(self, task: Task) -> int:
+        """Ranking key for this policy (smaller = higher priority)."""
+        if task.deadline is None:
+            raise ValueError(f"DM needs a deadline on task {task.name}")
+        return task.deadline

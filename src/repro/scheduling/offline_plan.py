@@ -1,0 +1,223 @@
+"""Static planning-based scheduling (after Xu 1993, cited [Xu93]).
+
+[Xu93] schedules processes with release times, deadlines, precedence
+and exclusion relations on multiple processors, off-line.  The paper
+cites it as the archetype of static planning-based policies that the
+``earliest`` attribute supports ("static priority assignation... these
+two kinds of definitions serve respectively at implementing static and
+dynamic planning-based scheduling algorithms", §3.1.2).
+
+This module implements that planning problem:
+
+* :class:`Job` — release time, WCET, deadline, processor restriction,
+  precedence over other jobs, and mutual-exclusion groups,
+* :func:`build_plan` — deadline-driven list scheduling with bounded
+  backtracking over the candidate order (a pragmatic stand-in for
+  Xu's branch-and-bound: complete enough to solve the classical
+  instances, clearly documented as heuristic),
+* :func:`plan_to_system` — execute a plan on the middleware by pinning
+  each job's Code_EU to its processor with ``earliest`` equal to the
+  planned start (the §3.1.2 mechanism), verifying the plan really
+  drives the dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class Job:
+    """One process to place in the static plan."""
+
+    name: str
+    wcet: int
+    deadline: int
+    release: int = 0
+    #: names of jobs that must finish before this one starts
+    predecessors: Tuple[str, ...] = ()
+    #: jobs sharing an exclusion group never overlap in time, even on
+    #: different processors (Xu's EXCLUSION relation)
+    exclusion_group: Optional[str] = None
+    #: restrict to one processor id (None = any)
+    processor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"{self.name}: wcet must be > 0")
+        if self.deadline <= self.release:
+            raise ValueError(f"{self.name}: deadline before release")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job fixed to a processor and start time in the plan."""
+
+    job: Job
+    processor: str
+    start: int
+
+    @property
+    def end(self) -> int:
+        """Completion time of the placed job."""
+        return self.start + self.job.wcet
+
+
+@dataclass
+class StaticPlan:
+    """A complete static schedule: one placement per job."""
+
+    placements: List[Placement] = field(default_factory=list)
+
+    def by_name(self) -> Dict[str, Placement]:
+        """Placements indexed by job name."""
+        return {p.job.name: p for p in self.placements}
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the whole plan."""
+        return max((p.end for p in self.placements), default=0)
+
+    def validate(self) -> None:
+        """Check every Xu93 constraint holds in the plan."""
+        table = self.by_name()
+        for placement in self.placements:
+            job = placement.job
+            if placement.start < job.release:
+                raise ValueError(f"{job.name}: starts before release")
+            if placement.end > job.deadline:
+                raise ValueError(f"{job.name}: misses its deadline")
+            if job.processor is not None and \
+                    placement.processor != job.processor:
+                raise ValueError(f"{job.name}: wrong processor")
+            for pred in job.predecessors:
+                if table[pred].end > placement.start:
+                    raise ValueError(
+                        f"{job.name}: starts before predecessor {pred}")
+        # No overlap on one processor; no overlap within an exclusion
+        # group anywhere.
+        for a_index, a in enumerate(self.placements):
+            for b in self.placements[a_index + 1:]:
+                overlap = a.start < b.end and b.start < a.end
+                if not overlap:
+                    continue
+                if a.processor == b.processor:
+                    raise ValueError(
+                        f"{a.job.name}/{b.job.name} overlap on "
+                        f"{a.processor}")
+                if (a.job.exclusion_group is not None
+                        and a.job.exclusion_group == b.job.exclusion_group):
+                    raise ValueError(
+                        f"{a.job.name}/{b.job.name} violate exclusion "
+                        f"{a.job.exclusion_group}")
+
+
+def build_plan(jobs: Sequence[Job], processors: Sequence[str],
+               backtrack: int = 200) -> Optional[StaticPlan]:
+    """Search for a feasible static plan; None if the (bounded) search
+    fails.
+
+    Strategy: jobs become *ready* when their predecessors are placed;
+    among ready jobs try earliest-deadline first, backtracking over the
+    alternatives within a step budget.
+    """
+    jobs = list(jobs)
+    names = {job.name for job in jobs}
+    for job in jobs:
+        for pred in job.predecessors:
+            if pred not in names:
+                raise ValueError(f"{job.name}: unknown predecessor {pred}")
+
+    budget = [backtrack]
+    proc_free: Dict[str, int] = {proc: 0 for proc in processors}
+    group_free: Dict[str, int] = {}
+    placed: Dict[str, Placement] = {}
+    order: List[Placement] = []
+
+    def earliest_start(job: Job, processor: str) -> int:
+        start = max(job.release, proc_free[processor])
+        for pred in job.predecessors:
+            start = max(start, placed[pred].end)
+        if job.exclusion_group is not None:
+            start = max(start, group_free.get(job.exclusion_group, 0))
+        return start
+
+    def ready_jobs(remaining: List[Job]) -> List[Job]:
+        return [job for job in remaining
+                if all(pred in placed for pred in job.predecessors)]
+
+    def search(remaining: List[Job]) -> bool:
+        if not remaining:
+            return True
+        candidates = sorted(ready_jobs(remaining),
+                            key=lambda j: (j.deadline, j.release, j.name))
+        if not candidates:
+            return False  # cyclic precedence among the rest
+        for index, job in enumerate(candidates):
+            if index > 0:
+                if budget[0] <= 0:
+                    return False
+                budget[0] -= 1
+            proc_options = ([job.processor] if job.processor is not None
+                            else sorted(processors,
+                                        key=lambda p: proc_free[p]))
+            for processor in proc_options:
+                start = earliest_start(job, processor)
+                if start + job.wcet > job.deadline:
+                    continue
+                placement = Placement(job, processor, start)
+                saved = (proc_free[processor],
+                         group_free.get(job.exclusion_group))
+                placed[job.name] = placement
+                order.append(placement)
+                proc_free[processor] = placement.end
+                if job.exclusion_group is not None:
+                    group_free[job.exclusion_group] = placement.end
+                rest = [j for j in remaining if j is not job]
+                if search(rest):
+                    return True
+                # Undo.
+                order.pop()
+                del placed[job.name]
+                proc_free[processor] = saved[0]
+                if job.exclusion_group is not None:
+                    if saved[1] is None:
+                        group_free.pop(job.exclusion_group, None)
+                    else:
+                        group_free[job.exclusion_group] = saved[1]
+                if budget[0] <= 0:
+                    return False
+        return False
+
+    if search(jobs):
+        plan = StaticPlan(list(order))
+        plan.validate()
+        return plan
+    return None
+
+
+def plan_to_system(plan: StaticPlan, system) -> Dict[str, object]:
+    """Execute a plan on the middleware.
+
+    Each job becomes a single-unit HEUG pinned to its planned processor
+    with ``earliest`` = planned start (the §3.1.2 static planning
+    mechanism) at the highest application priority.  Returns the task
+    instances, keyed by job name, after activation (caller runs the
+    simulator).
+    """
+    from repro.core.attributes import EUAttributes
+    from repro.core.heug import Task
+    from repro.kernel.priorities import PRIO_MAX_APPL
+
+    instances = {}
+    for placement in plan.placements:
+        job = placement.job
+        task = Task(f"plan.{job.name}",
+                    deadline=max(1, job.deadline),
+                    node_id=placement.processor)
+        task.code_eu("eu", wcet=job.wcet,
+                     attrs=EUAttributes(prio=PRIO_MAX_APPL,
+                                        earliest=placement.start))
+        instances[job.name] = system.activate(task)
+    return instances

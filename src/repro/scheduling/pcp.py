@@ -1,0 +1,200 @@
+"""Priority Ceiling Protocol (dynamic ceilings variant, Chen & Lin 1990).
+
+PCP avoids multiple priority inversions and deadlock by letting a unit
+acquire its resources only when its priority is strictly higher than
+the ceiling of every resource currently held by *other* jobs; when the
+test fails, the blocked unit's priority is *inherited* by the holders
+so that the blocking interval cannot be stretched by medium-priority
+jobs.
+
+Mapped onto HADES (paper footnote 2, §3.2.2): resource acquisition
+happens at unit start (all-or-nothing), so the protocol is a start gate
+for resource-claiming units, plus priority-inheritance bookkeeping
+driven by the ``Rac``/``Rre``-visible state.  Use it with a
+fixed-priority scheduler (RM/DM), the setting PCP was designed for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.heug import Task
+from repro.core.notifications import Notification, NotificationKind
+from repro.core.resources import Resource
+from repro.core.scheduler_api import SchedulerBase
+
+
+def priority_ceilings(tasks: Sequence[Task]) -> Dict[Resource, int]:
+    """Ceiling of each resource: highest priority among claiming units.
+
+    Call after the fixed-priority scheduler has written its assignment
+    into the Code_EU attributes.
+    """
+    ceilings: Dict[Resource, int] = {}
+    for task in tasks:
+        for eu in task.code_eus():
+            for resource, _mode in eu.resources:
+                ceilings[resource] = max(ceilings.get(resource, 0),
+                                         eu.attrs.prio)
+    return ceilings
+
+
+class PCPProtocol(SchedulerBase):
+    """PCP enforcement over the generic dispatcher."""
+
+    policy_name = "pcp"
+
+    def __init__(self, tasks: Sequence[Task], scope: Optional[str] = None,
+                 home_node: Optional[str] = None, w_sched: int = 1):
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched)
+        self.tasks = list(tasks)
+        self.ceilings: Dict[Resource, int] = {}
+        #: holder EUInstance -> original (priority, threshold) to restore.
+        self._inherited: Dict[object, Tuple[int, int]] = {}
+        #: units currently refused by the gate: inheritance is
+        #: re-applied for them after every scheduler pass, because a
+        #: dynamic-priority scheduler (EDF) overwrites priorities on
+        #: each notification.
+        self._blocked: List[object] = []
+        self.blocked_requests = 0
+        self.inheritance_events = 0
+
+    def on_attach(self) -> None:
+        """Compute ceilings (post priority assignment) and install the gate."""
+        # Ceilings must reflect the (static) priorities in force, so
+        # compute them lazily after priority assignment.
+        self.ceilings = priority_ceilings(self.tasks)
+        self.dispatcher.add_start_gate(self._gate)
+
+    # -- the ceiling test -----------------------------------------------------
+
+    def _held_by_others(self, eui) -> List[Resource]:
+        held = []
+        for resource in self.ceilings:
+            for holder in resource.holders:
+                if holder.instance is not eui.instance:
+                    held.append(resource)
+                    break
+        return held
+
+    def _gate(self, eui) -> bool:
+        if not self.manages(eui):
+            return True  # outside this protocol's jurisdiction
+        claims = getattr(eui.eu, "resources", ())
+        if not claims:
+            return True  # PCP only mediates resource acquisition
+        blocking = [resource for resource in self._held_by_others(eui)
+                    if self.ceilings[resource] >= eui.priority]
+        if not blocking:
+            if eui in self._blocked:
+                self._blocked.remove(eui)
+            return True
+        # Blocked: holders inherit the blocked unit's priority.
+        self.blocked_requests += 1
+        if eui not in self._blocked:
+            self._blocked.append(eui)
+        self._inherit(eui, blocking)
+        return False
+
+    def _inherit(self, eui, blocking) -> None:
+        for resource in blocking:
+            for holder in resource.holders:
+                if holder.priority < eui.priority:
+                    if holder not in self._inherited:
+                        self._inherited[holder] = (
+                            holder.priority, holder.preemption_threshold)
+                    self.inheritance_events += 1
+                    self.dispatcher.set_thread_params(
+                        holder, priority=eui.priority)
+
+    def _reapply_inheritance(self) -> None:
+        """Re-assert inheritance for still-blocked units.
+
+        A dynamic scheduler (EDF) reassigns priorities on every
+        notification, silently undoing earlier inheritance; the
+        protocol runs after it (attach order) and restores the boost.
+        """
+        from repro.core.dispatcher import EUState
+
+        for eui in list(self._blocked):
+            if eui.state is not EUState.ELIGIBLE:
+                self._blocked.remove(eui)
+                continue
+            self._refresh_for(eui)
+            blocking = [resource for resource in self._held_by_others(eui)
+                        if self.ceilings[resource] >= eui.priority]
+            self._inherit(eui, blocking)
+
+    def _refresh_for(self, eui) -> None:
+        """Hook: dynamic-ceiling variants recompute ceilings here."""
+
+    # -- inheritance restore -----------------------------------------------------
+
+    def handle(self, notification: Notification) -> None:
+        """Restore inherited priorities on Rre; re-assert inheritance."""
+        if notification.kind is NotificationKind.RRE:
+            holder = notification.eu_instance
+            restore = self._inherited.pop(holder, None)
+            if restore is not None:
+                priority, threshold = restore
+                self.dispatcher.set_thread_params(
+                    holder, priority=priority,
+                    preemption_threshold=threshold)
+        # Whatever arrived, the priority landscape may have moved (a
+        # dynamic scheduler handled the same notification first).
+        self._reapply_inheritance()
+
+
+class DynamicPCPProtocol(PCPProtocol):
+    """Dynamic priority ceilings (Chen & Lin 1990 — the paper's [CL90]).
+
+    The original PCP assumes static priorities; [CL90] extends it to
+    dynamic-priority schedulers like EDF by recomputing each resource's
+    ceiling from the *current* priorities of its potential users: the
+    ceiling of R at time t is the highest current priority among live
+    units that may still claim R.  The gate and inheritance machinery
+    are inherited from :class:`PCPProtocol`; only the ceiling lookup
+    changes.  Pair it with :class:`~repro.scheduling.edf.EDFScheduler`.
+    """
+
+    policy_name = "dpcp"
+
+    def on_attach(self) -> None:
+        """Index claimants per resource and install the gate."""
+        # Record, per resource, which (task name, eu name) pairs may
+        # claim it; ceilings are then computed live.
+        self._claimants: Dict[Resource, List[Tuple[str, str]]] = {}
+        for task in self.tasks:
+            for eu in task.code_eus():
+                for resource, _mode in eu.resources:
+                    self._claimants.setdefault(resource, []).append(
+                        (task.name, eu.name))
+        self.ceilings = {resource: 0 for resource in self._claimants}
+        self.dispatcher.add_start_gate(self._gate)
+
+    def _current_ceiling(self, resource: Resource) -> int:
+        from repro.core.dispatcher import EUState
+
+        ceiling = 0
+        claimant_pairs = set(self._claimants.get(resource, ()))
+        for instance in self.dispatcher.active_instances():
+            for eui in instance.eu_instances.values():
+                if eui.state in (EUState.DONE, EUState.ABORTED):
+                    continue
+                if (instance.task.name, eui.eu.name) in claimant_pairs:
+                    ceiling = max(ceiling, eui.priority)
+        return ceiling
+
+    def _refresh_for(self, eui) -> None:
+        # Refresh the ceilings of resources held by other jobs from the
+        # live (EDF-assigned) priorities.
+        for resource in self._held_by_others(eui):
+            if resource in self._claimants:
+                self.ceilings[resource] = self._current_ceiling(resource)
+
+    def _gate(self, eui) -> bool:
+        claims = getattr(eui.eu, "resources", ())
+        if not claims:
+            return True
+        self._refresh_for(eui)
+        return super()._gate(eui)

@@ -1,0 +1,178 @@
+"""Planning-based scheduling in the style of Spring (Ramamritham,
+Stankovic & Shiah 1990).
+
+The Spring kernel *guarantees* tasks dynamically: when a task arrives,
+the scheduler tries to build a full plan (a sequence of start times)
+in which every already-guaranteed task and the newcomer all meet their
+deadlines; if no plan is found the newcomer is rejected (and a
+recovery action can run instead).  Plans are built by a heuristic
+search: candidates are ordered by a heuristic function H (minimum
+deadline, minimum laxity, ...) with optional limited backtracking.
+
+On HADES (§3.1.2): "attribute earliest ... serves at implementing
+static and dynamic planning-based scheduling algorithms".  This
+scheduler assigns each guaranteed unit an *earliest start time* equal
+to its planned slot and holds every unit it has not yet placed, so the
+dispatcher executes exactly the plan.  Rejected instances are aborted
+and recorded, which benchmarks use to measure the guarantee ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.dispatcher import NEVER, EUState
+from repro.core.notifications import Notification, NotificationKind
+from repro.core.scheduler_api import SchedulerBase
+from repro.kernel.priorities import PRIO_MAX_APPL
+
+#: Heuristic functions H(candidate, now): smaller = scheduled earlier.
+Heuristic = Callable[["_Job", int], float]
+
+
+def h_min_deadline(job: "_Job", _now: int) -> float:
+    """Spring heuristic: earliest absolute deadline first."""
+    return job.deadline
+
+
+def h_min_laxity(job: "_Job", now: int) -> float:
+    """Spring heuristic: minimum laxity (deadline - now - work) first."""
+    return job.deadline - now - job.wcet
+
+
+def h_min_wcet(job: "_Job", _now: int) -> float:
+    """Spring heuristic: shortest job first."""
+    return job.wcet
+
+
+class _Job:
+    """Planner view of one guaranteed unit (a whole task instance,
+    planned as the sequence of its units on one processor)."""
+
+    def __init__(self, eui):
+        self.eui = eui
+        self.wcet = eui.instance.task.total_wcet()
+        self.deadline = (eui.instance.abs_deadline
+                         if eui.instance.abs_deadline is not None else NEVER)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying work is still pending."""
+        return self.eui.state not in (EUState.DONE, EUState.ABORTED)
+
+
+class SpringScheduler(SchedulerBase):
+    """Dynamic planning with admission control for one processor.
+
+    ``overhead_per_unit`` is added to each job's planned cost so the
+    plan accounts for the dispatcher constants (the §4/§5 methodology
+    applied to planning-based scheduling).
+    """
+
+    policy_name = "spring"
+
+    def __init__(self, scope: str, heuristic: Heuristic = h_min_deadline,
+                 backtrack: int = 2, overhead_per_unit: int = 0,
+                 home_node: Optional[str] = None, w_sched: int = 3):
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched)
+        self.heuristic = heuristic
+        self.backtrack = backtrack
+        self.overhead_per_unit = overhead_per_unit
+        #: instance key -> planned start (absolute).
+        self.plan: Dict[object, int] = {}
+        self._guaranteed: List[_Job] = []
+        self.guaranteed_count = 0
+        self.rejected_count = 0
+
+    # -- notification treatment ---------------------------------------------
+
+    def handle(self, notification: Notification) -> None:
+        """Admit newcomers on Atv; retire finished jobs on Trm."""
+        eui = notification.eu_instance
+        if notification.kind is NotificationKind.ATV:
+            # Only plan once per instance (its first unit); subsequent
+            # units inherit the instance's slot through precedence.
+            sources = eui.instance.task.sources()
+            if eui.eu not in sources or eui.eu is not sources[0]:
+                return
+            self._admit(eui)
+        elif notification.kind is NotificationKind.TRM:
+            if eui.instance.remaining <= 1:
+                self.plan.pop(eui.instance.key, None)
+                self._guaranteed = [job for job in self._guaranteed
+                                    if job.alive]
+
+    # -- the guarantee algorithm ------------------------------------------------
+
+    def _admit(self, eui) -> None:
+        now = self.dispatcher.sim.now
+        newcomer = _Job(eui)
+        candidates = [job for job in self._guaranteed if job.alive]
+        candidates.append(newcomer)
+        plan = self._build_plan(candidates, now, self.backtrack,
+                                newcomer=newcomer)
+        if plan is None:
+            self.rejected_count += 1
+            self.dispatcher.tracer.record("scheduler", "spring_reject",
+                                          task=eui.instance.task.name,
+                                          seq=eui.instance.seq)
+            self.dispatcher.abort_instance(eui.instance, reason="not_guaranteed")
+            return
+        self.guaranteed_count += 1
+        self._guaranteed.append(newcomer)
+        for job, start in plan.items():
+            self.plan[job.eui.instance.key] = start
+            if job.eui.state not in (EUState.DONE, EUState.ABORTED):
+                self.set_priority(job.eui, PRIO_MAX_APPL)
+                self.set_earliest(job.eui, start)
+
+    def _build_plan(self, jobs: List[_Job], now: int, backtrack: int,
+                    newcomer: Optional[_Job] = None
+                    ) -> Optional[Dict[_Job, int]]:
+        """Heuristic sequential plan construction with backtracking.
+
+        Returns {job: start time} covering every job, or None if the
+        search (within the backtracking budget) finds no feasible plan.
+        """
+        remaining = list(jobs)
+        plan: Dict[_Job, int] = {}
+        cursor = now
+        budget = [backtrack]
+
+        def place(rest: List[_Job], cursor: int) -> bool:
+            if not rest:
+                return True
+            ranked = sorted(rest, key=lambda j: (self.heuristic(j, cursor),
+                                                 j.deadline))
+            # Try the heuristic's first choice, then alternatives while
+            # backtracking budget remains.
+            for index, job in enumerate(ranked):
+                if index > 0:
+                    if budget[0] <= 0:
+                        return False
+                    budget[0] -= 1
+                cost = job.wcet + self.overhead_per_unit
+                start = cursor
+                finish = start + cost
+                if finish > job.deadline:
+                    continue  # this placement already misses; try another
+                plan[job] = start
+                rest_after = [j for j in ranked if j is not job]
+                if place(rest_after, finish):
+                    return True
+                del plan[job]
+            return False
+
+        # Already-running jobs keep their original start; re-planning
+        # must not move work that has begun.  The newcomer is always
+        # movable: it has at most a zero-progress head start.
+        fixed = [job for job in remaining
+                 if job is not newcomer and job.eui.start_time is not None]
+        for job in fixed:
+            planned = self.plan.get(job.eui.instance.key, now)
+            plan[job] = planned
+            cursor = max(cursor, planned + job.wcet + self.overhead_per_unit)
+        movable = [job for job in remaining if job not in fixed]
+        if place(movable, cursor):
+            return plan
+        return None

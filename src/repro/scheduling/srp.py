@@ -1,0 +1,121 @@
+"""Stack Resource Policy (Baker 1991), as a dispatcher start gate.
+
+SRP assigns each task a static *preemption level* (higher for shorter
+relative deadline) and each resource a *ceiling* (the highest
+preemption level among tasks that may use it).  A job may start only
+when its preemption level is strictly higher than the *system ceiling*
+— the maximum ceiling over currently held resources.  The classic
+properties follow: a job is blocked at most once, before it starts,
+and deadlock is impossible.
+
+In HADES terms (paper footnote 2, §3.2.2): the protocol observes the
+dispatcher's resource state and vetoes unit starts through the
+synchronous start-gate hook; releases re-open the gate.  SRP composes
+with EDF (the pairing analysed in §5: "EDF preemptive scheduling
+algorithm, and SRP") or with any fixed-priority scheduler.
+
+Only the *first* unit of a task instance is gated: once a job has
+started, SRP guarantees it never blocks, so mid-graph units pass
+freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.core.heug import Task
+from repro.core.notifications import Notification, NotificationKind
+from repro.core.resources import Resource
+from repro.core.scheduler_api import SchedulerBase
+
+
+def preemption_levels(tasks: Sequence[Task]) -> Dict[str, int]:
+    """Preemption levels by relative deadline: shorter D = higher level.
+
+    Tasks without a deadline get level 0 (never allowed to block
+    anyone by starting — they still run when the ceiling is clear).
+    """
+    with_deadline = sorted(
+        (task for task in tasks if task.deadline is not None),
+        key=lambda t: (-t.deadline, t.name))
+    levels = {task.name: 0 for task in tasks}
+    for rank, task in enumerate(with_deadline):
+        levels[task.name] = rank + 1
+    return levels
+
+
+def resource_ceilings(tasks: Sequence[Task],
+                      levels: Dict[str, int]) -> Dict[Resource, int]:
+    """Ceiling of each resource: max preemption level of its users."""
+    ceilings: Dict[Resource, int] = {}
+    for task in tasks:
+        level = levels[task.name]
+        for eu in task.code_eus():
+            for resource, _mode in eu.resources:
+                ceilings[resource] = max(ceilings.get(resource, 0), level)
+    return ceilings
+
+
+class SRPProtocol(SchedulerBase):
+    """SRP enforcement over the generic dispatcher.
+
+    Attach *after* the priority-assigning scheduler, e.g.::
+
+        dispatcher.attach_scheduler(EDFScheduler(scope="n0"))
+        dispatcher.attach_scheduler(SRPProtocol(tasks, scope="n0"))
+    """
+
+    policy_name = "srp"
+
+    def __init__(self, tasks: Sequence[Task], scope: Optional[str] = None,
+                 home_node: Optional[str] = None, w_sched: int = 1,
+                 levels: Optional[Dict[str, int]] = None):
+        super().__init__(scope=scope, home_node=home_node, w_sched=w_sched)
+        self.tasks = list(tasks)
+        self.levels = levels if levels is not None else preemption_levels(
+            self.tasks)
+        self.ceilings: Dict[Resource, int] = resource_ceilings(
+            self.tasks, self.levels)
+        self._started_instances: Set = set()
+        self.blocked_starts = 0
+
+    # -- gate ------------------------------------------------------------
+
+    def on_attach(self) -> None:
+        """Install the SRP start gate on the dispatcher."""
+        self.dispatcher.add_start_gate(self._gate)
+
+    def system_ceiling(self) -> int:
+        """Max ceiling over currently held resources (0 when all free)."""
+        return max((ceiling for resource, ceiling in self.ceilings.items()
+                    if not resource.free), default=0)
+
+    def level_of(self, eui) -> int:
+        """The preemption level of the unit's task (0 if unknown)."""
+        return self.levels.get(eui.instance.task.name, 0)
+
+    def _gate(self, eui) -> bool:
+        # Gates are installed dispatcher-wide; only police the tasks
+        # this protocol instance actually manages.
+        if not self.manages(eui) or \
+                eui.instance.task.name not in self.levels:
+            return True
+        instance_key = eui.instance.key
+        if instance_key in self._started_instances:
+            return True  # SRP only gates the job's first unit
+        if self.level_of(eui) > self.system_ceiling():
+            self._started_instances.add(instance_key)
+            return True
+        self.blocked_starts += 1
+        return False
+
+    # -- notifications -----------------------------------------------------
+
+    def handle(self, notification: Notification) -> None:
+        """Clean the started-jobs set when an instance's last unit ends."""
+        # The dispatcher re-runs gated units on every release already
+        # (reevaluate_gated); Trm cleans the started set.
+        if notification.kind is NotificationKind.TRM:
+            instance = notification.eu_instance.instance
+            if instance.remaining <= 1:
+                self._started_instances.discard(instance.key)

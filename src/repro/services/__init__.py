@@ -1,0 +1,65 @@
+"""Generic HADES services (paper §2.2.1).
+
+"The intent of the set of services is to provide a wide range of
+facilities required for executing distributed safety-critical real-time
+software whatever its timeliness and criticality requirements are."
+
+The paper enumerates (i) time-bounded reliable communication,
+(ii) replication (passive, active, semi-active), (iii) consensus,
+(iv) persistent storage, (v) dependency tracking, and (vi) clock
+synchronisation.  Each lives in its own module here, built only on the
+kernel/network substrate and designed to be *compatible* with the
+schedulers (no hidden locking, bounded execution, explicit costs):
+
+* :mod:`repro.services.clocksync` — Lundelius & Lynch fault-tolerant
+  clock synchronisation, tolerating Byzantine clocks,
+* :mod:`repro.services.channels` — time-bounded reliable point-to-point
+  (acknowledged retransmission, bounded omission runs),
+* :mod:`repro.services.broadcast` — time-bounded reliable broadcast and
+  multicast by bounded-depth diffusion,
+* :mod:`repro.services.consensus` — round-based synchronous consensus
+  (FloodSet) tolerating crash failures,
+* :mod:`repro.services.replication` — active, passive and semi-active
+  replication with value-failure voting,
+* :mod:`repro.services.fault_detection` — heartbeat crash detection,
+* :mod:`repro.services.storage` — logged persistent storage with atomic
+  state capture (checkpoint/restore across crashes),
+* :mod:`repro.services.dependency` — dependency tracking for cascading
+  invalidation (Nett et al.).
+"""
+
+from repro.services.broadcast import ReliableBroadcast
+from repro.services.channels import BoundedChannel
+from repro.services.clocksync import ClockSyncService, measure_skew
+from repro.services.consensus import ConsensusService
+from repro.services.dependency import DependencyTracker
+from repro.services.fault_detection import HeartbeatDetector
+from repro.services.modes import ModeDefinition, ModeManager
+from repro.services.monitor import SystemMonitor
+from repro.services.recovery import RecoveryManager
+from repro.services.replication import (
+    ActiveReplication,
+    PassiveReplication,
+    SemiActiveReplication,
+)
+from repro.services.storage import PersistentStore
+from repro.services.watchdog import ActivationWatchdog
+
+__all__ = [
+    "ActivationWatchdog",
+    "ActiveReplication",
+    "BoundedChannel",
+    "ClockSyncService",
+    "ConsensusService",
+    "DependencyTracker",
+    "HeartbeatDetector",
+    "ModeDefinition",
+    "ModeManager",
+    "PassiveReplication",
+    "PersistentStore",
+    "RecoveryManager",
+    "ReliableBroadcast",
+    "SemiActiveReplication",
+    "SystemMonitor",
+    "measure_skew",
+]

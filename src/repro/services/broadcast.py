@@ -1,0 +1,153 @@
+"""Time-bounded reliable broadcast and multicast (§2.2.1 (i)).
+
+Diffusion-based reliable broadcast: the initiator sends to every group
+member; the first time a member receives a given broadcast it *relays*
+it to every other member before delivering.  With at most ``f`` faulty
+members (crash) and per-link omission runs shorter than the relay
+fan-out, every correct member delivers every message that any correct
+member delivers (agreement), exactly once (integrity), and within
+
+    bound = 2 * (one_way_delay + irq_cost)        (one relay hop)
+
+for the single-relay diffusion used here (each copy travels at most
+two hops: origin -> relayer -> destination).  The properties
+(validity / agreement / integrity / timeliness) are checked by the
+test suite and experiment E7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.network import Network
+
+Deliver = Callable[[str, Any], None]
+
+
+class ReliableBroadcast:
+    """One group member's reliable-broadcast endpoint."""
+
+    def __init__(self, network: Network, node_id: str,
+                 group: Sequence[str], relay: bool = True,
+                 reliable_links: bool = False,
+                 retransmit_interval: int = 2_000, max_retries: int = 8):
+        if node_id not in group:
+            raise ValueError("node must belong to the broadcast group")
+        self.network = network
+        self.node_id = node_id
+        self.group = list(group)
+        self.relay = relay
+        self.interface = network.interfaces[node_id]
+        self._counter = itertools.count(1)
+        self._seen: Set[Tuple[str, int]] = set()
+        self._receivers: List[Deliver] = []
+        self.broadcast_count = 0
+        self.delivered_count = 0
+        self.relayed_count = 0
+        #: With reliable_links, every copy travels over an acknowledged
+        #: retransmitting channel: agreement then tolerates arbitrary
+        #: probabilistic loss with bounded omission runs (the channel's
+        #: retry budget), at the price of ack traffic and a larger
+        #: delivery bound.  Plain mode is the cheap diffusion variant
+        #: that assumes at most one faulty path per (origin, member).
+        self.channel = None
+        if reliable_links:
+            from repro.services.channels import BoundedChannel
+            self.channel = BoundedChannel(
+                network, node_id, retransmit_interval=retransmit_interval,
+                max_retries=max_retries, kind="rbcast-ch")
+            self.channel.on_receive(
+                lambda _src, body: self._on_body(body, size=64))
+        else:
+            self.interface.on_receive(self._on_message, kind="rbcast")
+
+    def on_deliver(self, receiver: Deliver) -> None:
+        """Register ``receiver(origin, payload)``."""
+        self._receivers.append(receiver)
+
+    def delivery_bound(self, size: int = 64) -> int:
+        """Worst-case delivery latency at a correct member.
+
+        Diffusion mode: two hops.  Reliable-link mode: two hops of the
+        channel's retransmission bound.
+        """
+        node = self.network.nodes[self.node_id]
+        if self.channel is not None:
+            hop = (self.channel.delivery_bound(size) + node.net_irq.wcet
+                   + node.net_irq.pseudo_period)
+        else:
+            hop = (self.network.max_message_delay(size) + node.net_irq.wcet
+                   + node.net_irq.pseudo_period)
+        return 2 * hop
+
+    # -- sending --------------------------------------------------------------
+
+    def broadcast(self, payload: Any, size: int = 64,
+                  to: Optional[Sequence[str]] = None) -> Tuple[str, int]:
+        """Reliably broadcast (or, with ``to``, multicast) ``payload``.
+
+        Returns the broadcast id ``(origin, seq)``.
+        """
+        members = list(to) if to is not None else self.group
+        if self.node_id not in members:
+            raise ValueError("sender must be in the destination group")
+        seq = next(self._counter)
+        ident = (self.node_id, seq)
+        self.broadcast_count += 1
+        body = {"origin": self.node_id, "seq": seq, "payload": payload,
+                "members": members, "relayed": False}
+        # Local delivery first (validity holds even if all links die).
+        self._accept(ident, body)
+        for member in members:
+            if member != self.node_id:
+                self._transmit(member, dict(body), size)
+        return ident
+
+    def _transmit(self, member: str, body: Dict, size: int) -> None:
+        if self.channel is not None:
+            self.channel.send(member, body, size=size)
+        else:
+            self.interface.send(member, body, kind="rbcast", size=size)
+
+    def multicast(self, payload: Any, to: Sequence[str],
+                  size: int = 64) -> Tuple[str, int]:
+        """Reliable multicast to a subset of the group."""
+        return self.broadcast(payload, size=size, to=to)
+
+    # -- receiving --------------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        self._on_body(message.payload, size=message.size)
+
+    def _on_body(self, body: Dict, size: int) -> None:
+        ident = (body["origin"], body["seq"])
+        if ident in self._seen:
+            return
+        if self.relay and not body["relayed"]:
+            relayed = dict(body)
+            relayed["relayed"] = True
+            for member in body["members"]:
+                if member not in (self.node_id, body["origin"]):
+                    self._transmit(member, relayed, size)
+                    self.relayed_count += 1
+        self._accept(ident, body)
+
+    def _accept(self, ident: Tuple[str, int], body: Dict) -> None:
+        self._seen.add(ident)
+        self.delivered_count += 1
+        self.network.tracer.record("service", "rbcast_deliver",
+                                   node=self.node_id, origin=body["origin"],
+                                   seq=body["seq"])
+        for receiver in self._receivers:
+            receiver(body["origin"], body["payload"])
+
+
+def make_group(network: Network, group: Sequence[str], relay: bool = True,
+               reliable_links: bool = False,
+               **channel_kwargs) -> Dict[str, ReliableBroadcast]:
+    """Create one endpoint per group member."""
+    return {node_id: ReliableBroadcast(network, node_id, group, relay=relay,
+                                       reliable_links=reliable_links,
+                                       **channel_kwargs)
+            for node_id in group}

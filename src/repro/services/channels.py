@@ -1,0 +1,142 @@
+"""Time-bounded reliable point-to-point communication.
+
+The first service the paper lists (§2.2.1 (i)) is "time-bounded
+point-to-point communication".  Over a link with *bounded omission
+runs* (at most ``k`` consecutive losses — the standard assumption for
+bounded-time reliability) an acknowledged retransmission protocol
+delivers every message within
+
+    bound = (k + 1) * retransmit_interval + one_way_delay + irq
+
+:class:`BoundedChannel` implements that protocol: sequence numbers,
+positive acks, periodic retransmission with a bounded retry budget,
+and duplicate suppression at the receiver.  Exceeding the retry budget
+raises the ``failed`` counter — the signal a fault-tolerance layer
+(or the dispatcher's omission monitoring) reacts to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network.network import Network
+from repro.sim.engine import Event
+
+
+class BoundedChannel:
+    """Reliable FIFO channel endpoint on one node.
+
+    One :class:`BoundedChannel` per node serves all its peers;
+    ``send(dst, payload)`` returns an event that succeeds when the
+    message is acknowledged or fails (with :class:`ChannelError`) when
+    the retry budget is exhausted.
+    """
+
+    def __init__(self, network: Network, node_id: str,
+                 retransmit_interval: int = 2_000, max_retries: int = 5,
+                 kind: str = "channel"):
+        if retransmit_interval <= 0 or max_retries < 0:
+            raise ValueError("bad channel parameters")
+        self.network = network
+        self.node_id = node_id
+        self.retransmit_interval = retransmit_interval
+        self.max_retries = max_retries
+        self.kind = kind
+        self.interface = network.interfaces[node_id]
+        self.sim = network.sim
+        #: per-destination sequence counters (FIFO is per peer pair)
+        self._seq: Dict[str, "itertools.count"] = {}
+        #: (dst, seq) -> (payload, retries so far, ack event)
+        self._unacked: Dict[Tuple[str, int], List] = {}
+        #: peer -> highest seq delivered contiguously (FIFO delivery)
+        self._delivered: Dict[str, int] = {}
+        self._reorder: Dict[str, Dict[int, Any]] = {}
+        self._receivers: List[Callable[[str, Any], None]] = []
+        self.sent = 0
+        self.retransmissions = 0
+        self.failed = 0
+        self.duplicates = 0
+        self.interface.on_receive(self._on_message, kind=self.kind)
+
+    def delivery_bound(self, size: int = 64) -> int:
+        """Worst-case delivery time with at most ``max_retries - 1``
+        lost copies."""
+        one_way = self.network.max_message_delay(size)
+        return self.max_retries * self.retransmit_interval + one_way
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, dst: str, payload: Any, size: int = 64) -> Event:
+        """Reliably send ``payload``; the returned event acks delivery."""
+        seq = next(self._seq.setdefault(dst, itertools.count(1)))
+        ack = self.sim.event(f"channel:ack:{dst}:{seq}")
+        record = [payload, 0, ack, size]
+        self._unacked[(dst, seq)] = record
+        self.sent += 1
+        self._transmit(dst, seq)
+        return ack
+
+    def _transmit(self, dst: str, seq: int) -> None:
+        record = self._unacked.get((dst, seq))
+        if record is None:
+            return
+        payload, retries, ack, size = record
+        self.interface.send(dst, {"type": "data", "seq": seq,
+                                  "payload": payload},
+                            kind=self.kind, size=size)
+        self.sim.call_in(self.retransmit_interval,
+                         lambda: self._maybe_retransmit(dst, seq))
+
+    def _maybe_retransmit(self, dst: str, seq: int) -> None:
+        record = self._unacked.get((dst, seq))
+        if record is None:
+            return  # acked meanwhile
+        record[1] += 1
+        if record[1] > self.max_retries:
+            del self._unacked[(dst, seq)]
+            self.failed += 1
+            if not record[2].triggered:
+                record[2].fail(ChannelError(
+                    f"{self.node_id}->{dst} seq {seq}: retries exhausted"))
+            return
+        self.retransmissions += 1
+        self._transmit(dst, seq)
+
+    # -- receiving -----------------------------------------------------------------
+
+    def on_receive(self, receiver: Callable[[str, Any], None]) -> None:
+        """Register ``receiver(src, payload)`` for delivered messages."""
+        self._receivers.append(receiver)
+
+    def _on_message(self, message) -> None:
+        body = message.payload
+        if body["type"] == "ack":
+            record = self._unacked.pop((message.src, body["seq"]), None)
+            if record is not None and not record[2].triggered:
+                record[2].succeed()
+            return
+        # Data: always (re-)ack, deliver FIFO exactly once.
+        seq = body["seq"]
+        src = message.src
+        self.interface.send(src, {"type": "ack", "seq": seq},
+                            kind=self.kind, size=8)
+        highest = self._delivered.get(src, 0)
+        if seq <= highest:
+            self.duplicates += 1
+            return
+        pending = self._reorder.setdefault(src, {})
+        if seq in pending:
+            self.duplicates += 1
+            return
+        pending[seq] = body["payload"]
+        while highest + 1 in pending:
+            highest += 1
+            payload = pending.pop(highest)
+            self._delivered[src] = highest
+            for receiver in self._receivers:
+                receiver(src, payload)
+
+
+class ChannelError(RuntimeError):
+    """Raised (via the ack event) when a reliable send gives up."""

@@ -1,0 +1,154 @@
+"""Fault-tolerant clock synchronisation (Lundelius & Lynch 1988).
+
+The paper ships the [LL88] algorithm as its clock-synchronisation
+service (Figure 1) and its fault model admits "Byzantine failures for
+clocks" (§2.1).  We implement the classical fault-tolerant averaging
+scheme:
+
+Every ``resync_period`` (measured on its local clock) each node asks
+every group member for a clock reading, estimates the peer's offset as
+
+    offset_j ~= (T_j + delta/2) - T_local(receipt)
+
+(``delta/2`` being half the nominal transfer delay), collects the
+estimates (including 0 for itself), **discards the f largest and the f
+smallest**, and adjusts its clock by the midpoint of the remainder.
+With ``n >= 3f + 1`` nodes of which at most ``f`` have arbitrarily
+faulty clocks, the post-synchronisation skew between correct clocks is
+bounded; the classical bound for one round is on the order of the
+reading error ``eps`` plus drift accumulated over a period:
+
+    skew <= 4 * eps + 4 * rho * P       (eps = jitter/2 reading error)
+
+:func:`measure_skew` samples the real pairwise skew so tests and the
+E6 benchmark can compare measurement against the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.kernel.node import Node
+from repro.kernel.threads import Compute, Sleep, WaitEvent
+from repro.network.network import Network
+
+
+class ClockSyncService:
+    """One node's clock-synchronisation daemon."""
+
+    def __init__(self, network: Network, node: Node, group: Sequence[str],
+                 f: int, resync_period: int = 1_000_000,
+                 reading_cost: int = 5, priority: int = 900):
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        if len(group) < 3 * f + 1:
+            raise ValueError(
+                f"need n >= 3f+1 nodes for f={f}, got {len(group)}")
+        if node.node_id not in group:
+            raise ValueError("node must belong to its own sync group")
+        self.network = network
+        self.node = node
+        self.group = list(group)
+        self.f = f
+        self.resync_period = resync_period
+        self.reading_cost = reading_cost
+        self.rounds_completed = 0
+        self.last_correction = 0
+        self._pending: Optional[Dict[str, int]] = None
+        self._round_done = None
+        interface = network.interfaces[node.node_id]
+        interface.on_receive(self._on_message, kind="clocksync")
+        self.interface = interface
+        self._thread = node.spawn(self._body(), name="clocksync",
+                                  priority=priority,
+                                  preemption_threshold=priority)
+
+    # -- protocol ------------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        kind = message.payload.get("type")
+        if kind == "read_req":
+            # Answer with our local clock reading.
+            self.interface.send(message.src,
+                                {"type": "read_rsp",
+                                 "round": message.payload["round"],
+                                 "reading": self.node.now()},
+                                kind="clocksync", size=16)
+        elif kind == "read_rsp" and self._pending is not None:
+            if message.payload["round"] != self.rounds_completed:
+                return  # stale response from an earlier round
+            src = message.src
+            if src in self._pending:
+                return
+            delta_half = self.network.max_message_delay(16) // 2
+            estimate = (message.payload["reading"] + delta_half
+                        - self.node.now())
+            self._pending[src] = estimate
+            if (len(self._pending) == len(self.group)
+                    and self._round_done is not None
+                    and not self._round_done.triggered):
+                self._round_done.succeed()
+
+    def _body(self):
+        sim = self.node.sim
+        while True:
+            yield Sleep(self.resync_period)
+            if self.node.crashed:
+                return
+            # Ask everyone for a reading.
+            self._pending = {self.node.node_id: 0}
+            self._round_done = sim.event("clocksync:round")
+            for peer in self.group:
+                if peer != self.node.node_id:
+                    self.interface.send(
+                        peer, {"type": "read_req",
+                               "round": self.rounds_completed},
+                        kind="clocksync", size=16)
+            # Wait for all answers, bounded by the collection window.
+            window = 4 * self.network.max_message_delay(16) + 1_000
+            timeout = sim.timeout(window)
+            yield WaitEvent(sim.any_of([self._round_done, timeout]))
+            if self.reading_cost:
+                yield Compute(self.reading_cost * len(self.group),
+                              category="service")
+            self._apply_round()
+
+    def _apply_round(self) -> None:
+        estimates = sorted(self._pending.values())
+        self._pending = None
+        self._round_done = None
+        # Fault-tolerant reduction: discard the f largest and f smallest.
+        if self.f > 0 and len(estimates) > 2 * self.f:
+            estimates = estimates[self.f:-self.f]
+        if not estimates:
+            return
+        correction = (estimates[0] + estimates[-1]) // 2
+        self.last_correction = correction
+        self.node.clock.adjust(correction)
+        self.rounds_completed += 1
+        self.node.tracer.record("service", "clocksync_round",
+                                node=self.node.node_id,
+                                correction=correction,
+                                round=self.rounds_completed)
+
+    # -- theory -------------------------------------------------------------------
+
+    def skew_bound(self, drift_bound: float) -> int:
+        """Worst-case post-round skew between correct clocks.
+
+        ``4*eps + 4*rho*P`` with reading error eps = jitter/2 plus the
+        half-delay estimation error.
+        """
+        full = self.network.max_message_delay(16)
+        eps = full / 2  # worst asymmetry of (actual - estimate)
+        return int(4 * eps + 4 * drift_bound * self.resync_period) + 1
+
+
+def measure_skew(nodes: Sequence[Node],
+                 exclude: Sequence[str] = ()) -> int:
+    """Maximum pairwise skew among the (correct) nodes' clocks, now."""
+    readings = [node.now() for node in nodes
+                if node.node_id not in exclude and not node.crashed]
+    if len(readings) < 2:
+        return 0
+    return max(readings) - min(readings)

@@ -1,0 +1,124 @@
+"""Round-based synchronous consensus (§2.2.1 (iii)).
+
+The classical FloodSet algorithm: with at most ``f`` crash failures,
+``f + 1`` synchronous rounds of value exchange guarantee that every
+correct node ends with the same view and decides the same value (we
+decide the minimum, by a deterministic order on values).
+
+Round pacing uses real simulated time: a round lasts long enough for
+every correct message to arrive (network bound + interrupt cost +
+margin), which is what "synchronous system" means in this substrate.
+Properties guaranteed (and tested): termination after f+1 rounds,
+agreement, validity (the decision is some node's input).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.network.network import Network
+from repro.sim.engine import Event
+
+
+class ConsensusService:
+    """One participant in one consensus instance group.
+
+    Usage: create one service per node with the same ``group``; call
+    :meth:`propose` on every (live) participant; each returns an event
+    that succeeds with the decision after f+1 rounds.
+    """
+
+    def __init__(self, network: Network, node_id: str,
+                 group: Sequence[str], f: int,
+                 round_margin: int = 500):
+        if node_id not in group:
+            raise ValueError("participant must belong to the group")
+        if f < 0 or f >= len(group):
+            raise ValueError(f"invalid f={f} for group of {len(group)}")
+        self.network = network
+        self.node_id = node_id
+        self.group = list(group)
+        self.f = f
+        self.interface = network.interfaces[node_id]
+        self.sim = network.sim
+        node = network.nodes[node_id]
+        self.round_length = (network.max_message_delay(128)
+                             + node.net_irq.wcet
+                             + node.net_irq.pseudo_period * len(group)
+                             + round_margin)
+        self._known: Set[Any] = set()
+        self._incoming: Set[Any] = set()
+        self._round = 0
+        self._running = False
+        self.decision: Optional[Any] = None
+        self.decided_event: Event = self.sim.event(
+            f"consensus:{node_id}:decided")
+        self.rounds_executed = 0
+        self.interface.on_receive(self._on_message, kind="consensus")
+
+    def propose(self, value: Any) -> Event:
+        """Start the protocol with our input value."""
+        if self._running:
+            raise RuntimeError("consensus already running on this node")
+        self._running = True
+        self._known = {value}
+        self._round = 0
+        self._start_round()
+        return self.decided_event
+
+    # -- rounds --------------------------------------------------------------------
+
+    def _start_round(self) -> None:
+        node = self.network.nodes[self.node_id]
+        if node.crashed:
+            return
+        self._round += 1
+        self._incoming = set()
+        for member in self.group:
+            if member != self.node_id:
+                self.interface.send(member,
+                                    {"round": self._round,
+                                     "values": sorted(self._known,
+                                                      key=repr)},
+                                    kind="consensus", size=128)
+        self.sim.call_in(self.round_length, self._end_round)
+
+    def _end_round(self) -> None:
+        node = self.network.nodes[self.node_id]
+        if node.crashed:
+            return
+        self._known |= self._incoming
+        self.rounds_executed += 1
+        if self._round <= self.f:
+            self._start_round()
+            return
+        # f+1 rounds done: decide deterministically.
+        self.decision = min(self._known, key=repr)
+        self.network.tracer.record("service", "consensus_decide",
+                                   node=self.node_id,
+                                   decision=repr(self.decision),
+                                   rounds=self.rounds_executed)
+        if not self.decided_event.triggered:
+            self.decided_event.succeed(self.decision)
+
+    def _on_message(self, message) -> None:
+        if not self._running:
+            # Late joiner: adopt values so agreement still holds if we
+            # are asked to propose later in a different instance; for
+            # this instance we simply ignore.
+            return
+        for value in message.payload["values"]:
+            self._incoming.add(value)
+
+
+def run_consensus(network: Network, group: Sequence[str], f: int,
+                  inputs: Dict[str, Any]) -> Dict[str, ConsensusService]:
+    """Create services for the whole group and propose the given inputs."""
+    services = {}
+    for node_id in group:
+        service = ConsensusService(network, node_id, group, f)
+        services[node_id] = service
+    for node_id, service in services.items():
+        if node_id in inputs and not network.nodes[node_id].crashed:
+            service.propose(inputs[node_id])
+    return services

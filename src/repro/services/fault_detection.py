@@ -1,0 +1,120 @@
+"""Heartbeat-based crash detection (§2.2.1's "fault detection").
+
+Every monitored node broadcasts an "I am alive" message each
+``heartbeat_period``; a :class:`HeartbeatDetector` on each observer
+suspects a node when no heartbeat arrived for
+
+    timeout = heartbeat_period + max_delay + irq + margin
+
+Under the synchronous substrate this detector is *perfect*: it never
+suspects a correct node (accuracy) and eventually — within one timeout
+— suspects every crashed node (completeness).  Both properties are
+exercised by the test suite; detection latency feeds experiment E9 and
+the passive-replication failover measurement (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.network.network import Network
+
+SuspectHandler = Callable[[str, int], None]
+
+
+class HeartbeatDetector:
+    """Crash detector running on one observer node."""
+
+    def __init__(self, network: Network, node_id: str,
+                 watched: Sequence[str], heartbeat_period: int = 10_000,
+                 margin: int = 1_000):
+        self.network = network
+        self.node_id = node_id
+        self.watched = [w for w in watched if w != node_id]
+        self.heartbeat_period = heartbeat_period
+        node = network.nodes[node_id]
+        self.timeout = (heartbeat_period + network.max_message_delay(8)
+                        + node.net_irq.wcet + node.net_irq.pseudo_period
+                        + margin)
+        self.sim = network.sim
+        self.interface = network.interfaces[node_id]
+        self._last_seen: Dict[str, int] = {w: 0 for w in self.watched}
+        self._suspected: Set[str] = set()
+        self._handlers: List[SuspectHandler] = []
+        self.interface.on_receive(self._on_heartbeat, kind="heartbeat")
+        self._started = False
+
+    # -- emission side -------------------------------------------------------------
+
+    @staticmethod
+    def start_heartbeats(network: Network, node_id: str,
+                         group: Sequence[str],
+                         heartbeat_period: int = 10_000) -> None:
+        """Start this node's periodic heartbeat emission to the group."""
+        interface = network.interfaces[node_id]
+        node = network.nodes[node_id]
+
+        def beat() -> None:
+            if node.crashed:
+                return
+            for member in group:
+                if member != node_id:
+                    interface.send(member, {"alive": node_id},
+                                   kind="heartbeat", size=8)
+            network.sim.call_in(heartbeat_period, beat)
+
+        beat()
+
+    # -- detection side ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin monitoring (call once heartbeats are flowing)."""
+        if self._started:
+            return
+        self._started = True
+        for watched in self.watched:
+            self._last_seen[watched] = self.sim.now
+        self._arm()
+
+    def _arm(self) -> None:
+        self.sim.call_in(self.timeout // 2, self._check)
+
+    def _check(self) -> None:
+        if self.network.nodes[self.node_id].crashed:
+            return
+        now = self.sim.now
+        for watched in self.watched:
+            if watched in self._suspected:
+                continue
+            if now - self._last_seen[watched] > self.timeout:
+                self._suspected.add(watched)
+                self.network.tracer.record("service", "suspect",
+                                           observer=self.node_id,
+                                           suspect=watched)
+                for handler in self._handlers:
+                    handler(watched, now)
+        self._arm()
+
+    def _on_heartbeat(self, message) -> None:
+        src = message.src
+        if src in self._last_seen:
+            self._last_seen[src] = self.sim.now
+            if src in self._suspected:
+                # Recovery: stop suspecting a node that speaks again.
+                self._suspected.discard(src)
+                self.network.tracer.record("service", "unsuspect",
+                                           observer=self.node_id,
+                                           suspect=src)
+
+    def on_suspect(self, handler: SuspectHandler) -> None:
+        """Call ``handler(node_id, time)`` when a node becomes suspected."""
+        self._handlers.append(handler)
+
+    @property
+    def suspected(self) -> Set[str]:
+        """The currently suspected node ids (copy)."""
+        return set(self._suspected)
+
+    def is_suspected(self, node_id: str) -> bool:
+        """Whether the given node is currently suspected."""
+        return node_id in self._suspected

@@ -1,0 +1,140 @@
+"""Modes of operation and mode switching.
+
+The dispatcher's low-level fault-tolerance mechanisms include
+"switching of modes of operation in case of failure [Mos94]"
+(§3.2.1).  A *mode* is a named set of periodic task registrations
+(e.g. "nominal" vs "degraded"); the :class:`ModeManager` activates one
+mode at a time, and a switch — triggered explicitly or by a
+monitoring-violation policy — stops the outgoing mode's activation
+sources, optionally aborts its in-flight instances, and starts the
+incoming mode's sources.
+
+Switch latency is bounded: stopping drivers and (optionally) aborting
+instances is immediate in the dispatcher; the first activation of the
+new mode occurs within one phase of its tasks.  The manager records
+every switch with its trigger for post-mortem analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dispatcher import Dispatcher, InstanceState, PeriodicDriver
+from repro.core.heug import Task
+from repro.core.monitoring import Violation, ViolationKind
+
+
+@dataclass
+class ModeDefinition:
+    """One mode: tasks to drive periodically while the mode is active."""
+
+    name: str
+    tasks: List[Task] = field(default_factory=list)
+
+    def add(self, task: Task) -> "ModeDefinition":
+        """Append and return self for chaining."""
+        self.tasks.append(task)
+        return self
+
+
+@dataclass(frozen=True)
+class ModeSwitch:
+    """Record of one mode change (time, from, to, trigger)."""
+    time: int
+    from_mode: Optional[str]
+    to_mode: str
+    trigger: str
+
+
+class ModeManager:
+    """Runs one mode at a time over a dispatcher."""
+
+    def __init__(self, dispatcher: Dispatcher,
+                 abort_outgoing: bool = True):
+        self.dispatcher = dispatcher
+        self.abort_outgoing = abort_outgoing
+        self._modes: Dict[str, ModeDefinition] = {}
+        self._drivers: List[PeriodicDriver] = []
+        self.current: Optional[str] = None
+        self.switches: List[ModeSwitch] = []
+        self._policies: List[Tuple[ViolationKind, Optional[str], str, int]] = []
+        self._violation_counts: Dict[Tuple, int] = {}
+        self._switch_listeners: List[Callable[[ModeSwitch], None]] = []
+        self.dispatcher.monitor.subscribe(self._on_violation)
+
+    def on_switch(self, listener: Callable[["ModeSwitch"], None]) -> None:
+        """Run ``listener(switch)`` after every mode change (e.g. to
+        stop event sources belonging to the outgoing mode)."""
+        self._switch_listeners.append(listener)
+
+    # -- mode definition -----------------------------------------------------
+
+    def define(self, name: str, tasks: Sequence[Task] = ()) -> ModeDefinition:
+        """Declare a new mode; returns its definition."""
+        if name in self._modes:
+            raise ValueError(f"mode {name!r} already defined")
+        mode = ModeDefinition(name, list(tasks))
+        self._modes[name] = mode
+        return mode
+
+    def mode(self, name: str) -> ModeDefinition:
+        """Look up a mode definition by name."""
+        return self._modes[name]
+
+    # -- switching ------------------------------------------------------------
+
+    def switch_to(self, name: str, trigger: str = "explicit") -> None:
+        """Stop the current mode (if any) and start ``name``."""
+        if name not in self._modes:
+            raise ValueError(f"unknown mode {name!r}")
+        if name == self.current:
+            return
+        previous = self.current
+        for driver in self._drivers:
+            driver.stop()
+        self._drivers.clear()
+        if self.abort_outgoing and previous is not None:
+            outgoing_names = {task.name
+                              for task in self._modes[previous].tasks}
+            for instance in self.dispatcher.active_instances():
+                if instance.task.name in outgoing_names:
+                    self.dispatcher.abort_instance(instance,
+                                                   reason="mode_switch")
+        self.current = name
+        for task in self._modes[name].tasks:
+            self._drivers.append(self.dispatcher.register_periodic(task))
+        switch = ModeSwitch(self.dispatcher.sim.now, previous, name, trigger)
+        self.switches.append(switch)
+        self.dispatcher.tracer.record("service", "mode_switch",
+                                      from_mode=previous, to_mode=name,
+                                      trigger=trigger)
+        for listener in self._switch_listeners:
+            listener(switch)
+
+    # -- violation-driven policies ------------------------------------------------
+
+    def on_violation(self, kind: ViolationKind, switch_to: str,
+                     task: Optional[str] = None, threshold: int = 1) -> None:
+        """Switch to ``switch_to`` after ``threshold`` violations of
+        ``kind`` (optionally restricted to one task name)."""
+        if switch_to not in self._modes:
+            raise ValueError(f"unknown mode {switch_to!r}")
+        self._policies.append((kind, task, switch_to, threshold))
+
+    def _on_violation(self, violation: Violation) -> None:
+        for kind, task, target, threshold in self._policies:
+            if violation.kind is not kind:
+                continue
+            if task is not None and violation.task != task:
+                continue
+            if target == self.current:
+                continue
+            key = (kind, task, target)
+            self._violation_counts[key] = \
+                self._violation_counts.get(key, 0) + 1
+            if self._violation_counts[key] >= threshold:
+                self._violation_counts[key] = 0
+                self.switch_to(target,
+                               trigger=f"{violation.kind.value}"
+                                       f":{violation.task}")

@@ -1,0 +1,101 @@
+"""System-wide monitoring service.
+
+The dispatcher's :class:`~repro.core.monitoring.ExecutionMonitor`
+records violations; this service aggregates it with substrate health
+into one operator-facing status: per-node utilisation and thread
+counts, violation totals by kind, network loss statistics, and trace
+volume.  ``report()`` renders a text panel — what the paper's
+"monitoring services" would surface to the system integrator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.monitoring import ViolationKind
+from repro.network.link import DeliveryOutcome
+
+
+class SystemMonitor:
+    """Aggregated health view over a :class:`~repro.system.HadesSystem`."""
+
+    def __init__(self, system):
+        self.system = system
+
+    # -- snapshots -----------------------------------------------------------
+
+    def node_status(self) -> Dict[str, Dict[str, object]]:
+        """Per-node liveness/utilisation/thread snapshot."""
+        status = {}
+        for node_id in sorted(self.system.nodes):
+            node = self.system.nodes[node_id]
+            status[node_id] = {
+                "up": not node.crashed,
+                "utilization": round(node.utilization(), 4),
+                "busy_by_category": dict(sorted(
+                    node.cpu.busy_time.items())),
+                "threads": len(node.threads),
+            }
+        return status
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Non-zero violation totals by kind."""
+        monitor = self.system.monitor
+        return {kind.value: monitor.count(kind) for kind in ViolationKind
+                if monitor.count(kind)}
+
+    def network_status(self) -> Dict[str, object]:
+        """Delivered/dropped/late counters and downed links."""
+        delivered = dropped = late = 0
+        for link in self.system.network.links.values():
+            delivered += link.stats[DeliveryOutcome.DELIVERED]
+            dropped += link.stats[DeliveryOutcome.DROPPED]
+            late += link.stats[DeliveryOutcome.LATE]
+        return {
+            "delivered": delivered,
+            "dropped": dropped,
+            "late": late,
+            "links_down": sum(1 for link in
+                              self.system.network.links.values()
+                              if not link.up),
+        }
+
+    def application_status(self) -> Dict[str, object]:
+        """Instance completion and middleware-cost totals."""
+        dispatcher = self.system.dispatcher
+        return {
+            "completed_instances": dispatcher.completed_instances,
+            "active_instances": len(dispatcher.active_instances()),
+            "dispatcher_cost_charged": dispatcher.ledger.total(),
+        }
+
+    def healthy(self) -> bool:
+        """No violations, no crashed node, no downed link."""
+        return (not self.violation_counts()
+                and all(s["up"] for s in self.node_status().values())
+                and self.network_status()["links_down"] == 0)
+
+    # -- rendering -----------------------------------------------------------
+
+    def report(self) -> str:
+        """Render the aggregated status as a text panel."""
+        lines: List[str] = []
+        lines.append(f"HADES status @ {self.system.sim.now} us "
+                     f"({'HEALTHY' if self.healthy() else 'DEGRADED'})")
+        lines.append("nodes:")
+        for node_id, status in self.node_status().items():
+            state = "up" if status["up"] else "CRASHED"
+            lines.append(f"  {node_id}: {state}, "
+                         f"util={status['utilization']:.1%}, "
+                         f"threads={status['threads']}")
+        violations = self.violation_counts()
+        lines.append(f"violations: {violations if violations else 'none'}")
+        net = self.network_status()
+        lines.append(f"network: {net['delivered']} delivered, "
+                     f"{net['dropped']} dropped, {net['late']} late, "
+                     f"{net['links_down']} links down")
+        app = self.application_status()
+        lines.append(f"instances: {app['completed_instances']} done, "
+                     f"{app['active_instances']} active; middleware cost "
+                     f"charged: {app['dispatcher_cost_charged']} us")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Violation-driven recovery (§3.1 exception handling + §3.2.1
+fault-tolerance mechanisms).
+
+The dispatcher already activates a task's declared ``recovery`` task
+when one of its actions *raises*.  Timing violations are detected by
+the monitoring activity instead; :class:`RecoveryManager` closes the
+loop: it watches the execution monitor and applies per-task recovery
+policies — abort the late instance and activate the recovery task, or
+run an arbitrary handler (e.g. trigger a mode switch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.dispatcher import Dispatcher, InstanceState
+from repro.core.heug import Task
+from repro.core.monitoring import Violation, ViolationKind
+
+Handler = Callable[[Violation], None]
+
+
+class RecoveryManager:
+    """Applies recovery policies when the monitor reports violations."""
+
+    def __init__(self, dispatcher: Dispatcher):
+        self.dispatcher = dispatcher
+        self._tasks: Dict[str, Task] = {}
+        self._handlers: Dict[Tuple[ViolationKind, str], List[Handler]] = {}
+        self.recoveries_triggered = 0
+        dispatcher.monitor.subscribe(self._on_violation)
+
+    def protect(self, task: Task,
+                kinds: Tuple[ViolationKind, ...] = (
+                    ViolationKind.DEADLINE_MISS,)) -> None:
+        """On any of ``kinds`` for ``task``: abort the offending
+        instance and activate ``task.recovery``.
+
+        Requires the task to declare a recovery task.
+        """
+        if task.recovery is None:
+            raise ValueError(f"task {task.name} declares no recovery task")
+        self._tasks[task.name] = task
+        for kind in kinds:
+            self.register(kind, task.name, self._standard_recovery)
+
+    def register(self, kind: ViolationKind, task_name: str,
+                 handler: Handler) -> None:
+        """Run ``handler(violation)`` on every matching violation."""
+        self._handlers.setdefault((kind, task_name), []).append(handler)
+
+    def _standard_recovery(self, violation: Violation) -> None:
+        task = self._tasks.get(violation.task)
+        if task is None or task.recovery is None:
+            return
+        instance = self.dispatcher.instance(violation.task,
+                                            violation.instance)
+        if instance is not None and \
+                instance.state is InstanceState.ACTIVE:
+            self.dispatcher.abort_instance(instance, reason="recovery")
+        self.recoveries_triggered += 1
+        self.dispatcher.tracer.record("service", "recovery",
+                                      failed=violation.task,
+                                      recovery=task.recovery.name,
+                                      cause=violation.kind.value)
+        self.dispatcher.activate(task.recovery)
+
+    def _on_violation(self, violation: Violation) -> None:
+        for handler in self._handlers.get(
+                (violation.kind, violation.task), ()):
+            handler(violation)

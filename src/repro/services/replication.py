@@ -1,0 +1,519 @@
+"""Replication services: active, passive, semi-active (§2.2.1 (ii)).
+
+The paper cites Poledna's classification [Pol96]; HADES promises all
+three styles.  All replicate a deterministic *state machine*:
+
+* **Active**: every replica receives and applies every request; the
+  client collects all answers and (optionally) votes, which also masks
+  *coherent value failures* of up to f replicas (§2.1's value-failure
+  fault model) when ``2f + 1`` replicas answer.
+* **Passive** (primary/backup): only the primary applies requests and
+  checkpoints its state to the backups; a heartbeat detector promotes
+  the next backup on primary crash.  Cheapest in CPU, slowest
+  failover (detection + state restore).
+* **Semi-active** (leader/follower): every replica receives every
+  request, the leader broadcasts ordering decisions, followers apply
+  in the same order; on leader crash a follower continues immediately
+  with warm state — failover cost is just detection.
+
+Experiment E8 measures exactly this overhead/failover trade-off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.network import Network
+from repro.services.fault_detection import HeartbeatDetector
+from repro.sim.engine import Event
+
+
+class KeyValueMachine:
+    """A small deterministic state machine used by tests and examples.
+
+    Requests: ``("set", key, value)``, ``("get", key)``,
+    ``("add", key, delta)``.
+    """
+
+    def __init__(self):
+        self.data: Dict[Any, Any] = {}
+        self.applied = 0
+
+    def apply(self, request: Tuple) -> Any:
+        """Apply this operation; returns its result."""
+        self.applied += 1
+        op = request[0]
+        if op == "set":
+            _op, key, value = request
+            self.data[key] = value
+            return value
+        if op == "get":
+            return self.data.get(request[1])
+        if op == "add":
+            _op, key, delta = request
+            self.data[key] = self.data.get(key, 0) + delta
+            return self.data[key]
+        raise ValueError(f"unknown request {request!r}")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep copy of the current state."""
+        return {"data": dict(self.data), "applied": self.applied}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace the current state from a snapshot."""
+        self.data = dict(state["data"])
+        self.applied = state["applied"]
+
+
+MachineFactory = Callable[[], Any]
+
+
+class _ReplicaBase:
+    """Shared plumbing: one replica object bound to one node."""
+
+    def __init__(self, network: Network, node_id: str,
+                 machine_factory: MachineFactory, kind: str):
+        self.network = network
+        self.node_id = node_id
+        self.machine = machine_factory()
+        self.kind = kind
+        self.interface = network.interfaces[node_id]
+        self.sim = network.sim
+        #: Optional coherent-value-failure injection: corrupts responses.
+        self.corrupt: Optional[Callable[[Any], Any]] = None
+
+    @property
+    def crashed(self) -> bool:
+        """Whether this replica's node is down."""
+        return self.network.nodes[self.node_id].crashed
+
+    def _respond(self, value: Any) -> Any:
+        return self.corrupt(value) if self.corrupt is not None else value
+
+
+# --------------------------------------------------------------------------
+# Active replication
+# --------------------------------------------------------------------------
+
+class ActiveReplica(_ReplicaBase):
+    """Server side of active replication on one node."""
+    def __init__(self, network: Network, node_id: str,
+                 machine_factory: MachineFactory):
+        super().__init__(network, node_id, machine_factory, "active")
+        self.interface.on_receive(self._on_request, kind="repl-active")
+
+    def _on_request(self, message) -> None:
+        if self.crashed:
+            return
+        body = message.payload
+        result = self.machine.apply(tuple(body["request"]))
+        self.interface.send(body["client"],
+                            {"req_id": body["req_id"],
+                             "result": self._respond(result),
+                             "replica": self.node_id},
+                            kind="repl-active-rsp", size=32)
+
+
+class ActiveReplication:
+    """Client-side coordinator for an actively replicated service."""
+
+    def __init__(self, network: Network, client_node: str,
+                 replica_nodes: Sequence[str],
+                 machine_factory: MachineFactory = KeyValueMachine):
+        self.network = network
+        self.client_node = client_node
+        self.replicas = [ActiveReplica(network, node_id, machine_factory)
+                         for node_id in replica_nodes]
+        self.replica_nodes = list(replica_nodes)
+        self.interface = network.interfaces[client_node]
+        self.sim = network.sim
+        self._req_counter = itertools.count(1)
+        self._pending: Dict[int, Dict] = {}
+        #: Replica-determinism violations (Poledna [Pol96]): replicas
+        #: whose answer disagreed with the voted majority, per request.
+        self.divergences: List[Dict] = []
+        #: node id -> count of detected disagreements (a coherent value
+        #: failure shows up as one node diverging consistently).
+        self.suspected_value_failures: Dict[str, int] = {}
+        self.interface.on_receive(self._on_response, kind="repl-active-rsp")
+
+    def submit(self, request: Tuple, quorum: Optional[int] = None,
+               timeout: int = 100_000) -> Event:
+        """Send ``request`` to every replica.
+
+        The returned event succeeds with ``(value, votes)`` once
+        ``quorum`` identical answers arrived (default: simple majority),
+        or fails on timeout.
+        """
+        req_id = next(self._req_counter)
+        needed = (quorum if quorum is not None
+                  else len(self.replica_nodes) // 2 + 1)
+        done = self.sim.event(f"active:{req_id}")
+        self._pending[req_id] = {"answers": {}, "needed": needed,
+                                 "event": done}
+        for node_id in self.replica_nodes:
+            self.interface.send(node_id,
+                                {"req_id": req_id,
+                                 "request": list(request),
+                                 "client": self.client_node},
+                                kind="repl-active", size=64)
+        self.sim.call_in(timeout, lambda: self._expire(req_id))
+        return done
+
+    def _on_response(self, message) -> None:
+        body = message.payload
+        pending = self._pending.get(body["req_id"])
+        if pending is None:
+            return
+        answers = pending["answers"]
+        answers[body["replica"]] = body["result"]
+        # Vote: count identical values.
+        counts: Dict[Any, int] = {}
+        winner = None
+        for value in answers.values():
+            counts[repr(value)] = counts.get(repr(value), 0) + 1
+            if counts[repr(value)] >= pending["needed"]:
+                winner = value
+        if winner is not None:
+            # Replica-determinism check: minority answers are detected
+            # coherent value failures (§2.1) / determinism violations.
+            dissenters = [replica for replica, value in answers.items()
+                          if repr(value) != repr(winner)]
+            for replica in dissenters:
+                self.suspected_value_failures[replica] = \
+                    self.suspected_value_failures.get(replica, 0) + 1
+            if dissenters:
+                self.divergences.append({
+                    "req_id": body["req_id"],
+                    "majority": winner,
+                    "dissenters": sorted(dissenters),
+                })
+                self.network.tracer.record(
+                    "service", "value_failure_detected",
+                    req=body["req_id"],
+                    dissenters=",".join(sorted(dissenters)))
+            del self._pending[body["req_id"]]
+            if not pending["event"].triggered:
+                pending["event"].succeed((winner, counts[repr(winner)]))
+
+    def _expire(self, req_id: int) -> None:
+        pending = self._pending.pop(req_id, None)
+        if pending is not None and not pending["event"].triggered:
+            pending["event"].fail(
+                ReplicationError(f"request {req_id}: no quorum"))
+
+
+# --------------------------------------------------------------------------
+# Passive replication (primary / backup)
+# --------------------------------------------------------------------------
+
+class PassiveReplication:
+    """Primary-backup replication with heartbeat-driven failover.
+
+    One coordinator object manages the whole group (the replicas are
+    addressed by node id; all state transfer crosses the network).
+    Clients call :meth:`submit`; requests go to the current primary,
+    and are retried against the new primary after a failover.
+    """
+
+    def __init__(self, network: Network, client_node: str,
+                 replica_nodes: Sequence[str],
+                 machine_factory: MachineFactory = KeyValueMachine,
+                 checkpoint_every: int = 1,
+                 heartbeat_period: int = 5_000):
+        if not replica_nodes:
+            raise ValueError("need at least one replica")
+        self.network = network
+        self.client_node = client_node
+        self.replica_nodes = list(replica_nodes)
+        self.machines = {node_id: machine_factory()
+                         for node_id in replica_nodes}
+        self.checkpoint_every = checkpoint_every
+        self.primary = self.replica_nodes[0]
+        self.sim = network.sim
+        self.interface = network.interfaces[client_node]
+        self._req_counter = itertools.count(1)
+        self._pending: Dict[int, Dict] = {}
+        self._since_checkpoint = 0
+        self.failover_count = 0
+        self.failover_times: List[int] = []
+        self._crash_time: Optional[int] = None
+        # Wire replica-side handlers.
+        for node_id in replica_nodes:
+            iface = network.interfaces[node_id]
+            iface.on_receive(
+                lambda msg, nid=node_id: self._replica_handle(nid, msg),
+                kind="repl-passive")
+        self.interface.on_receive(self._on_response, kind="repl-passive-rsp")
+        # Heartbeats + detection on the client (which drives promotion).
+        for node_id in replica_nodes:
+            HeartbeatDetector.start_heartbeats(network, node_id,
+                                               [client_node],
+                                               heartbeat_period)
+        self.detector = HeartbeatDetector(network, client_node,
+                                          replica_nodes, heartbeat_period)
+        self.detector.on_suspect(self._on_suspect)
+        self.detector.start()
+
+    # -- client side ---------------------------------------------------------------
+
+    def submit(self, request: Tuple, timeout: int = 30_000,
+               retries: int = 5) -> Event:
+        """Submit a request; the returned event carries the reply."""
+        req_id = next(self._req_counter)
+        done = self.sim.event(f"passive:{req_id}")
+        self._pending[req_id] = {"request": request, "event": done,
+                                 "retries": retries, "timeout": timeout}
+        self._send_to_primary(req_id)
+        return done
+
+    def _send_to_primary(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        self.interface.send(self.primary,
+                            {"type": "request", "req_id": req_id,
+                             "request": list(pending["request"]),
+                             "client": self.client_node},
+                            kind="repl-passive", size=64)
+        self.sim.call_in(pending["timeout"],
+                         lambda: self._maybe_retry(req_id))
+
+    def _maybe_retry(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        pending["retries"] -= 1
+        if pending["retries"] < 0:
+            del self._pending[req_id]
+            if not pending["event"].triggered:
+                pending["event"].fail(
+                    ReplicationError(f"request {req_id}: primary unreachable"))
+            return
+        self._send_to_primary(req_id)
+
+    def _on_response(self, message) -> None:
+        body = message.payload
+        pending = self._pending.pop(body["req_id"], None)
+        if pending is not None and not pending["event"].triggered:
+            pending["event"].succeed(body["result"])
+            if self._crash_time is not None:
+                # First successful answer after a failover: record it.
+                self.failover_times.append(self.sim.now - self._crash_time)
+                self._crash_time = None
+
+    # -- replica side ---------------------------------------------------------------
+
+    def _replica_handle(self, node_id: str, message) -> None:
+        if self.network.nodes[node_id].crashed:
+            return
+        body = message.payload
+        if body["type"] == "request":
+            if node_id != self.primary:
+                return  # only the primary serves
+            machine = self.machines[node_id]
+            result = machine.apply(tuple(body["request"]))
+            self.network.interfaces[node_id].send(
+                body["client"], {"req_id": body["req_id"], "result": result},
+                kind="repl-passive-rsp", size=32)
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_every:
+                self._since_checkpoint = 0
+                snapshot = machine.snapshot()
+                for backup in self.replica_nodes:
+                    if backup != node_id:
+                        self.network.interfaces[node_id].send(
+                            backup, {"type": "checkpoint",
+                                     "state": snapshot},
+                            kind="repl-passive", size=256)
+        elif body["type"] == "checkpoint":
+            self.machines[node_id].restore(body["state"])
+
+    # -- failover ----------------------------------------------------------------------
+
+    def _on_suspect(self, node_id: str, time: int) -> None:
+        if node_id != self.primary:
+            return
+        survivors = [n for n in self.replica_nodes
+                     if n != node_id and not self.network.nodes[n].crashed
+                     and not self.detector.is_suspected(n)]
+        if not survivors:
+            return
+        self.failover_count += 1
+        self._crash_time = (self._crash_time
+                            if self._crash_time is not None else time)
+        self.primary = survivors[0]
+        self.network.tracer.record("service", "failover",
+                                   style="passive", new_primary=self.primary)
+        # Outstanding requests chase the new primary.
+        for req_id in list(self._pending):
+            self._send_to_primary(req_id)
+
+    def mark_crash(self, time: Optional[int] = None) -> None:
+        """Tell the coordinator when the fault was injected, so
+        failover time is measured from the actual crash."""
+        self._crash_time = time if time is not None else self.sim.now
+
+
+# --------------------------------------------------------------------------
+# Semi-active replication (leader / follower)
+# --------------------------------------------------------------------------
+
+class SemiActiveReplication:
+    """Leader decides, followers apply the leader's decisions."""
+
+    def __init__(self, network: Network, client_node: str,
+                 replica_nodes: Sequence[str],
+                 machine_factory: MachineFactory = KeyValueMachine,
+                 heartbeat_period: int = 5_000):
+        if not replica_nodes:
+            raise ValueError("need at least one replica")
+        self.network = network
+        self.client_node = client_node
+        self.replica_nodes = list(replica_nodes)
+        self.machines = {node_id: machine_factory()
+                         for node_id in replica_nodes}
+        self.leader = self.replica_nodes[0]
+        self.sim = network.sim
+        self.interface = network.interfaces[client_node]
+        self._req_counter = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        #: Per-replica queues of undecided requests and decided order.
+        self._buffered: Dict[str, Dict[int, Tuple]] = {
+            node_id: {} for node_id in replica_nodes}
+        self._applied_upto: Dict[str, int] = {node_id: 0
+                                              for node_id in replica_nodes}
+        self._decisions: Dict[str, Dict[int, int]] = {
+            node_id: {} for node_id in replica_nodes}
+        self._next_order = itertools.count(1)
+        self.failover_count = 0
+        self.failover_times: List[int] = []
+        self._crash_time: Optional[int] = None
+        for node_id in replica_nodes:
+            iface = network.interfaces[node_id]
+            iface.on_receive(
+                lambda msg, nid=node_id: self._replica_handle(nid, msg),
+                kind="repl-semi")
+        self.interface.on_receive(self._on_response, kind="repl-semi-rsp")
+        for node_id in replica_nodes:
+            HeartbeatDetector.start_heartbeats(network, node_id,
+                                               [client_node],
+                                               heartbeat_period)
+        self.detector = HeartbeatDetector(network, client_node,
+                                          replica_nodes, heartbeat_period)
+        self.detector.on_suspect(self._on_suspect)
+        self.detector.start()
+
+    def submit(self, request: Tuple, timeout: int = 100_000) -> Event:
+        """Submit a request; the returned event carries the reply."""
+        req_id = next(self._req_counter)
+        done = self.sim.event(f"semi:{req_id}")
+        self._pending[req_id] = done
+        # Every replica receives every request (the semi-active pattern).
+        for node_id in self.replica_nodes:
+            self.interface.send(node_id,
+                                {"type": "request", "req_id": req_id,
+                                 "request": list(request),
+                                 "client": self.client_node},
+                                kind="repl-semi", size=64)
+        self.sim.call_in(timeout, lambda: self._expire(req_id, done))
+        return done
+
+    def _expire(self, req_id: int, done: Event) -> None:
+        if not done.triggered:
+            self._pending.pop(req_id, None)
+            done.fail(ReplicationError(f"request {req_id}: no leader answer"))
+
+    def _replica_handle(self, node_id: str, message) -> None:
+        if self.network.nodes[node_id].crashed:
+            return
+        body = message.payload
+        if body["type"] == "request":
+            self._buffered[node_id][body["req_id"]] = tuple(body["request"])
+            if node_id == self.leader:
+                # The leader decides the execution order and tells the
+                # followers.
+                order = next(self._next_order)
+                decision = {"type": "decision", "req_id": body["req_id"],
+                            "order": order}
+                for follower in self.replica_nodes:
+                    if follower != node_id:
+                        self.network.interfaces[node_id].send(
+                            follower, decision, kind="repl-semi", size=16)
+                self._decisions[node_id][order] = body["req_id"]
+                self._apply_ready(node_id, respond=True)
+        elif body["type"] == "decision":
+            self._decisions[node_id][body["order"]] = body["req_id"]
+            self._apply_ready(node_id,
+                              respond=(node_id == self.leader))
+
+    def _apply_ready(self, node_id: str, respond: bool) -> None:
+        machine = self.machines[node_id]
+        decisions = self._decisions[node_id]
+        buffered = self._buffered[node_id]
+        while True:
+            next_order = self._applied_upto[node_id] + 1
+            req_id = decisions.get(next_order)
+            if req_id is None or req_id not in buffered:
+                return
+            request = buffered.pop(req_id)
+            result = machine.apply(request)
+            self._applied_upto[node_id] = next_order
+            if respond:
+                self.network.interfaces[node_id].send(
+                    self.client_node,
+                    {"req_id": req_id, "result": result},
+                    kind="repl-semi-rsp", size=32)
+
+    def _on_response(self, message) -> None:
+        body = message.payload
+        done = self._pending.pop(body["req_id"], None)
+        if done is not None and not done.triggered:
+            done.succeed(body["result"])
+            if self._crash_time is not None:
+                self.failover_times.append(self.sim.now - self._crash_time)
+                self._crash_time = None
+
+    def _on_suspect(self, node_id: str, time: int) -> None:
+        if node_id != self.leader:
+            return
+        survivors = [n for n in self.replica_nodes
+                     if n != node_id and not self.network.nodes[n].crashed
+                     and not self.detector.is_suspected(n)]
+        if not survivors:
+            return
+        self.failover_count += 1
+        self._crash_time = (self._crash_time
+                            if self._crash_time is not None else time)
+        # Most-advanced follower becomes leader: every other survivor's
+        # applied prefix is then a prefix of the new leader's (FIFO
+        # links, crash-only faults), so no state diverges.
+        self.leader = max(survivors,
+                          key=lambda n: (self._applied_upto[n], n))
+        self.network.tracer.record("service", "failover",
+                                   style="semi-active",
+                                   new_leader=self.leader)
+        # The new leader decides all still-buffered requests.
+        leader = self.leader
+        buffered = self._buffered[leader]
+        decided = set(self._decisions[leader].values())
+        for req_id in sorted(buffered):
+            if req_id in decided:
+                continue
+            order = next(self._next_order)
+            self._decisions[leader][order] = req_id
+            decision = {"type": "decision", "req_id": req_id, "order": order}
+            for follower in self.replica_nodes:
+                if follower != leader:
+                    self.network.interfaces[leader].send(
+                        follower, decision, kind="repl-semi", size=16)
+        self._apply_ready(leader, respond=True)
+
+    def mark_crash(self, time: Optional[int] = None) -> None:
+        """Record the fault-injection instant for failover timing."""
+        self._crash_time = time if time is not None else self.sim.now
+
+
+class ReplicationError(RuntimeError):
+    """A replicated request could not be completed."""

@@ -1,0 +1,146 @@
+"""Persistent storage service (§2.2.1 (iv)).
+
+A per-node stable store that survives node crashes: writes go through
+a write-ahead log, commits are atomic, and :meth:`capture` /
+:meth:`restore_capture` implement the "state capture" low-level
+fault-tolerance mechanism the dispatcher relies on (§3.2.1).
+
+The simulated stable medium is simply memory that the
+:class:`~repro.kernel.node.Node` crash model does *not* wipe — the
+defining property of stable storage.  Writes cost simulated time
+(``write_latency`` per operation) so storage-heavy designs show up in
+the timing analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.kernel.node import Node
+from repro.sim.engine import Event
+
+
+class PersistentStore:
+    """Logged, atomically-committed key-value stable storage."""
+
+    def __init__(self, node: Node, write_latency: int = 100):
+        if write_latency < 0:
+            raise ValueError("write_latency must be >= 0")
+        self.node = node
+        self.sim = node.sim
+        self.write_latency = write_latency
+        # Stable medium: survives node.crash().
+        self._committed: Dict[Any, Any] = {}
+        self._log: List[Tuple[int, str, Any, Any]] = []
+        self._captures: Dict[int, Dict[Any, Any]] = {}
+        self._capture_counter = itertools.count(1)
+        # Volatile: lost on crash.
+        self._transaction: Optional[Dict[Any, Any]] = None
+        node.on_crash(self._on_crash)
+        self.write_count = 0
+        self.commit_count = 0
+        self.aborted_transactions = 0
+
+    # -- plain operations ---------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> Event:
+        """Durably write one key; the event triggers when it is stable."""
+        done = self.sim.event("store:put")
+
+        def commit() -> None:
+            if self.node.crashed:
+                return  # the write never reached the medium
+            self._log.append((self.sim.now, "put", key, value))
+            self._committed[key] = value
+            self.write_count += 1
+            done.succeed(value)
+
+        self.sim.call_in(self.write_latency, commit)
+        return done
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Read a committed value (raises while the node is down)."""
+        if self.node.crashed:
+            raise RuntimeError(f"node {self.node.node_id} is down")
+        return self._committed.get(key, default)
+
+    def keys(self) -> List[Any]:
+        """Committed keys, deterministically ordered."""
+        return sorted(self._committed, key=repr)
+
+    # -- atomic multi-key transactions ----------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction for staged writes."""
+        if self._transaction is not None:
+            raise RuntimeError("transaction already open")
+        self._transaction = {}
+
+    def stage(self, key: Any, value: Any) -> None:
+        """Add one write to the open transaction."""
+        if self._transaction is None:
+            raise RuntimeError("no open transaction")
+        self._transaction[key] = value
+
+    def commit(self) -> Event:
+        """Atomically commit every staged write (all or nothing)."""
+        if self._transaction is None:
+            raise RuntimeError("no open transaction")
+        staged, self._transaction = self._transaction, None
+        done = self.sim.event("store:commit")
+        cost = self.write_latency * max(1, len(staged))
+
+        def apply() -> None:
+            if self.node.crashed:
+                return  # atomicity: nothing applied
+            for key, value in staged.items():
+                self._log.append((self.sim.now, "put", key, value))
+                self._committed[key] = value
+                self.write_count += 1
+            self.commit_count += 1
+            done.succeed(len(staged))
+
+        self.sim.call_in(cost, apply)
+        return done
+
+    def abort(self) -> None:
+        """Discard the open transaction."""
+        if self._transaction is None:
+            raise RuntimeError("no open transaction")
+        self._transaction = None
+        self.aborted_transactions += 1
+
+    # -- state capture (the §3.2.1 fault-tolerance mechanism) ---------------------------
+
+    def capture(self, state: Dict[Any, Any]) -> int:
+        """Atomically snapshot an application state; returns capture id."""
+        capture_id = next(self._capture_counter)
+        self._captures[capture_id] = dict(state)
+        self._log.append((self.sim.now, "capture", capture_id, None))
+        return capture_id
+
+    def restore_capture(self, capture_id: int) -> Dict[Any, Any]:
+        """Return a copy of a captured state by id."""
+        if capture_id not in self._captures:
+            raise KeyError(f"unknown capture {capture_id}")
+        return dict(self._captures[capture_id])
+
+    def latest_capture(self) -> Optional[int]:
+        """Most recent capture id (None if none taken)."""
+        if not self._captures:
+            return None
+        return max(self._captures)
+
+    # -- crash semantics --------------------------------------------------------------
+
+    def _on_crash(self, _node: Node) -> None:
+        # Volatile state dies with the node; the medium persists.
+        if self._transaction is not None:
+            self._transaction = None
+            self.aborted_transactions += 1
+
+    @property
+    def log(self) -> List[Tuple[int, str, Any, Any]]:
+        """The append-only operation log (copy)."""
+        return list(self._log)

@@ -1,0 +1,406 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event/process duality:
+
+* An :class:`Event` is a one-shot occurrence that callbacks can be
+  attached to.  Events carry a value (or an exception) once triggered.
+* A :class:`Process` wraps a Python generator.  The generator *yields*
+  events; the process sleeps until the yielded event triggers, then
+  resumes with the event's value (or with the event's exception raised
+  inside the generator).  A process is itself an event that triggers
+  when the generator returns, so processes can wait for each other.
+
+The :class:`Simulator` owns virtual time (integer microseconds) and the
+pending-event heap.  Two events scheduled for the same instant fire in
+scheduling order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown inside a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, an arbitrary payload the
+    interrupted process can inspect (e.g. a preemption reason).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Thrown inside a process that is being forcibly terminated."""
+
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it is later *succeeded* with a value or
+    *failed* with an exception.  Callbacks attached before the trigger
+    run at trigger time; callbacks attached afterwards run immediately.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already occurred (succeeded or failed)."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The delivered value (raises if failed or pending)."""
+        if not self.triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = None
+        self._exception = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered *and was dispatched*, the callback
+        runs immediately.
+        """
+        if self._callbacks is None:  # already dispatched
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` microseconds from now."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name or f"timeout({delay})")
+        self._scheduled_value = value
+        sim._schedule_event(self, delay)
+
+    def _dispatch(self) -> None:
+        # The value becomes observable (and `triggered` true) only when
+        # the timeout actually fires, not at construction.
+        if self._value is _PENDING:
+            self._value = self._scheduled_value
+        super()._dispatch()
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    Its value is the list of child values in construction order.  Fails
+    as soon as any child fails.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers.
+
+    Its value is a ``(index, value)`` pair identifying which child fired
+    first.  Fails if the first child to trigger fails.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "any_of")
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda c, i=index: self._on_child(i, c))
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child._exception)
+        else:
+            self.succeed((index, child._value))
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-driven simulated activity.
+
+    The generator yields :class:`Event` instances and is resumed with
+    each event's value.  The process itself triggers (as an event) when
+    the generator returns; its value is the generator's return value.
+
+    Processes can be interrupted (:meth:`interrupt`): an
+    :class:`Interrupt` is raised at the current yield point.  They can
+    also be killed (:meth:`kill`), which raises :class:`ProcessKilled`
+    and, if the generator lets it escape, terminates the process with a
+    *successful* ``None`` result so that killing is not an error.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Start the process at the current instant, but asynchronously:
+        # the creator continues first.
+        start = Event(sim, f"start:{self.name}")
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point."""
+        if not self._alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        self._throw_soon(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Forcibly terminate the process.  Killing a dead process is a no-op."""
+        if not self._alive:
+            return
+        self._throw_soon(ProcessKilled())
+
+    def _throw_soon(self, exc: BaseException) -> None:
+        # Deliver via an immediate event so the thrower keeps running and
+        # delivery order stays deterministic.
+        bomb = Event(self.sim, f"throw:{self.name}")
+        self._detach_wait()
+        bomb.add_callback(lambda _evt: self._resume_throw(exc))
+        bomb.succeed()
+
+    def _detach_wait(self) -> None:
+        # The process stops caring about the event it was waiting on.
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and target._callbacks is not None:
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _resume_throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+        except ProcessKilled:
+            self._finish_ok(None)
+        except BaseException as error:
+            self._finish_fail(error)
+        else:
+            self._wait_for(next_event)
+
+    def _resume(self, event: Event) -> None:
+        if not self._alive or (self._waiting_on is not None
+                               and event is not self._waiting_on):
+            return
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(
+                    None if event._value is _PENDING else event._value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+        except ProcessKilled:
+            self._finish_ok(None)
+        except BaseException as error:
+            self._finish_fail(error)
+        else:
+            self._wait_for(next_event)
+
+    def _wait_for(self, event: Event) -> None:
+        if not isinstance(event, Event):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {event!r}, not an Event"))
+            return
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._alive = False
+        self._generator = None
+        if not self.triggered:
+            self.succeed(value)
+
+    def _finish_fail(self, error: BaseException) -> None:
+        self._alive = False
+        self._generator = None
+        if not self.triggered:
+            self.fail(error)
+        else:
+            raise error
+
+
+class Simulator:
+    """Owner of virtual time and the pending-event schedule."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._sequence = 0
+        self._uncaught: List[BaseException] = []
+
+    # -- event factories ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Launch a generator as a simulated process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires with the first given event."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"call_at({time}) is in the past (now={self.now})")
+        trigger = Timeout(self, time - self.now, name=f"call_at({time})")
+        trigger.add_callback(lambda _evt: callback())
+        return trigger
+
+    def call_in(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` microseconds."""
+        trigger = self.timeout(delay)
+        trigger.add_callback(lambda _evt: callback())
+        return trigger
+
+    # -- execution ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (not yet dispatched) event triggers."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Dispatch the next scheduled event.  Returns False when idle."""
+        if not self._heap:
+            return False
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = time
+        event._dispatch()
+        return True
+
+    def run(self, until: Optional[int] = None,
+            until_event: Optional[Event] = None) -> Any:
+        """Run until the schedule drains, ``until`` is reached, or
+        ``until_event`` triggers.
+
+        Returns ``until_event``'s value if given and triggered.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        while self._heap:
+            if until_event is not None and until_event.triggered:
+                return until_event.value
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return None
+            self.step()
+        if until_event is not None and until_event.triggered:
+            return until_event.value
+        if until is not None:
+            self.now = until
+        return None

@@ -1,0 +1,135 @@
+"""Timestamped execution tracing.
+
+Every HADES subsystem records what it does through a shared
+:class:`Tracer`.  Traces drive the monitoring benchmarks (experiment E9)
+and the invariant checks in the test suite: rather than trusting the
+dispatcher's own bookkeeping, tests replay the trace and verify the
+paper's runnable/running rules against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped fact about the execution.
+
+    ``category`` is a coarse subsystem tag (``"dispatcher"``,
+    ``"kernel"``, ``"network"``, ...), ``event`` the specific occurrence
+    (``"thread_start"``, ``"deadline_miss"``, ...), and ``details`` a
+    free-form payload.
+    """
+
+    time: int
+    category: str
+    event: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:>10d}] {self.category}/{self.event} {payload}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` instances in emission order."""
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self._records: List[TraceRecord] = []
+        self._clock = clock
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the time source used when ``record`` omits a time."""
+        self._clock = clock
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` synchronously for every new record."""
+        self._listeners.append(listener)
+
+    def record(self, category: str, event: str, time: Optional[int] = None,
+               **details: Any) -> TraceRecord:
+        """Append a record; time defaults to the bound clock's now."""
+        if time is None:
+            if self._clock is None:
+                raise RuntimeError("tracer has no bound clock")
+            time = self._clock()
+        entry = TraceRecord(time, category, event, details)
+        self._records.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        """All records in emission order (immutable view)."""
+        return tuple(self._records)
+
+    def select(self, category: Optional[str] = None,
+               event: Optional[str] = None,
+               **details: Any) -> List[TraceRecord]:
+        """Records matching the given category/event/detail filters."""
+        found = []
+        for entry in self._records:
+            if category is not None and entry.category != category:
+                continue
+            if event is not None and entry.event != event:
+                continue
+            if any(entry.details.get(k) != v for k, v in details.items()):
+                continue
+            found.append(entry)
+        return found
+
+    def count(self, category: Optional[str] = None,
+              event: Optional[str] = None, **details: Any) -> int:
+        """Current number of matching items."""
+        return len(self.select(category, event, **details))
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (the head of) the trace."""
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(str(entry) for entry in rows)
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the trace as JSON lines; returns the record count.
+
+        The format round-trips through :func:`load_trace`, so post-
+        mortem analysis (schedule reconstruction, violation counting)
+        can run on saved traces from earlier experiments.
+        """
+        import json
+
+        with open(path, "w") as handle:
+            for entry in self._records:
+                handle.write(json.dumps({
+                    "time": entry.time,
+                    "category": entry.category,
+                    "event": entry.event,
+                    "details": entry.details,
+                }, default=str))
+                handle.write("\n")
+        return len(self._records)
+
+
+def load_trace(path: str) -> "Tracer":
+    """Load a trace previously saved with :meth:`Tracer.to_jsonl`."""
+    import json
+
+    tracer = Tracer(clock=lambda: 0)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            tracer.record(raw["category"], raw["event"], time=raw["time"],
+                          **raw["details"])
+    return tracer

@@ -1,0 +1,55 @@
+"""Synthetic workload generation.
+
+The paper evaluates nothing quantitatively on public data, so every
+benchmark in this reproduction drives the middleware with synthetic
+task sets.  This package provides:
+
+* :func:`~repro.workloads.generators.uunifast` — the standard unbiased
+  utilisation-splitting algorithm (Bini & Buttazzo) for random task
+  sets at a target utilisation,
+* :func:`~repro.workloads.generators.random_spuri_taskset` — random
+  instances of the §5.1 model (sporadic, arbitrary deadlines, one
+  critical section),
+* :func:`~repro.workloads.translation.spuri_to_heug` — the **Figure 3
+  translation** of a Spuri task into a three-unit HEUG,
+* :func:`~repro.workloads.translation.periodic_to_heug` — plain
+  periodic tasks as single-unit HEUGs,
+* :func:`~repro.workloads.harmonic.harmonic_taskset` — harmonic
+  period sets (the classical RM-friendly family).
+"""
+
+from repro.workloads.arrivals import (
+    periodic_arrivals,
+    sporadic_arrivals,
+    validate_arrivals,
+)
+from repro.workloads.avionics import (
+    RATE_GROUP_PERIODS,
+    avionics_taskset,
+    random_pipeline,
+)
+from repro.workloads.generators import (
+    random_periodic_taskset,
+    random_spuri_taskset,
+    uunifast,
+)
+from repro.workloads.harmonic import harmonic_taskset
+from repro.workloads.translation import (
+    periodic_to_heug,
+    spuri_to_heug,
+)
+
+__all__ = [
+    "RATE_GROUP_PERIODS",
+    "avionics_taskset",
+    "periodic_arrivals",
+    "sporadic_arrivals",
+    "validate_arrivals",
+    "harmonic_taskset",
+    "random_pipeline",
+    "periodic_to_heug",
+    "random_periodic_taskset",
+    "random_spuri_taskset",
+    "spuri_to_heug",
+    "uunifast",
+]

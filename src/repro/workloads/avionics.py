@@ -1,0 +1,75 @@
+"""Avionics-style rate-group workloads and random distributed pipelines.
+
+Flight software is classically organised in harmonic *rate groups*
+(e.g. 80 / 40 / 20 / 10 Hz); :func:`avionics_taskset` generates such
+sets with utilisation split across groups.  :func:`random_pipeline`
+generates random distributed processing chains (the sensor→fusion→
+actuation shape) for tests and benchmarks of the end-to-end machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.heug import Task
+from repro.feasibility.taskset import AnalysisTask
+from repro.workloads.generators import uunifast
+
+#: Classic rate groups, as periods in microseconds (80/40/20/10 Hz).
+RATE_GROUP_PERIODS = (12_500, 25_000, 50_000, 100_000)
+
+
+def avionics_taskset(tasks_per_group: int, total_utilization: float,
+                     seed: int,
+                     periods: Sequence[int] = RATE_GROUP_PERIODS
+                     ) -> List[AnalysisTask]:
+    """A harmonic rate-group task set at a target utilisation.
+
+    Each group receives an equal utilisation share, split among its
+    tasks by UUniFast; deadlines are implicit (= period), the classic
+    cyclic-executive-friendly shape RM handles at high utilisation.
+    """
+    if tasks_per_group <= 0:
+        raise ValueError("tasks_per_group must be > 0")
+    rng = random.Random(seed)
+    tasks: List[AnalysisTask] = []
+    share = total_utilization / len(periods)
+    for group_index, period in enumerate(periods):
+        utilizations = uunifast(tasks_per_group, share, rng)
+        for task_index, u in enumerate(utilizations):
+            wcet = max(1, int(u * period))
+            tasks.append(AnalysisTask(
+                name=f"rg{group_index}_t{task_index}", wcet=wcet,
+                deadline=period, period=period))
+    return tasks
+
+
+def random_pipeline(name: str, node_ids: Sequence[str], seed: int,
+                    n_stages: Optional[int] = None,
+                    wcet_range=(100, 2_000),
+                    deadline_slack: float = 4.0) -> Task:
+    """A random distributed processing chain.
+
+    Stages are assigned round-robin-with-jumps over ``node_ids`` so
+    that some precedence constraints are local and some remote; the
+    deadline is ``deadline_slack`` times the total WCET (slack for
+    network hops and interference).
+    """
+    if not node_ids:
+        raise ValueError("need at least one node")
+    if deadline_slack <= 1.0:
+        raise ValueError("deadline_slack must exceed 1.0")
+    rng = random.Random(seed)
+    stages = n_stages if n_stages is not None else rng.randrange(2, 6)
+    wcets = [rng.randrange(*wcet_range) for _ in range(stages)]
+    deadline = int(sum(wcets) * deadline_slack)
+    chain = Task(name, deadline=deadline, node_id=node_ids[0])
+    previous = None
+    for index, wcet in enumerate(wcets):
+        node = rng.choice(list(node_ids))
+        eu = chain.code_eu(f"stage{index}", wcet=wcet, node_id=node)
+        if previous is not None:
+            chain.precede(previous, eu)
+        previous = eu
+    return chain.validate()

@@ -1,0 +1,95 @@
+"""Random task-set generators (deterministic given a seed)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.feasibility.taskset import AnalysisTask, SpuriTask
+
+
+def uunifast(n: int, total_utilization: float,
+             rng: random.Random) -> List[float]:
+    """Bini & Buttazzo's UUniFast: n utilisations summing to the target,
+    uniformly distributed over the simplex."""
+    if n <= 0:
+        raise ValueError("need at least one task")
+    if not 0 < total_utilization <= 1.0:
+        raise ValueError("total utilisation must be in (0, 1]")
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def random_periodic_taskset(n: int, total_utilization: float, seed: int,
+                            period_range=(10_000, 1_000_000),
+                            implicit_deadline: bool = True,
+                            ) -> List[AnalysisTask]:
+    """Random periodic tasks at a target utilisation (log-uniform periods)."""
+    rng = random.Random(seed)
+    utilizations = uunifast(n, total_utilization, rng)
+    tasks = []
+    low, high = period_range
+    for index, u in enumerate(utilizations):
+        import math
+        period = int(math.exp(rng.uniform(math.log(low), math.log(high))))
+        wcet = max(1, int(u * period))
+        if implicit_deadline:
+            deadline = period
+        else:
+            deadline = rng.randint(max(wcet, period // 2), period)
+        tasks.append(AnalysisTask(name=f"task{index}", wcet=wcet,
+                                  deadline=deadline, period=period))
+    return tasks
+
+
+def random_spuri_taskset(n: int, total_utilization: float, seed: int,
+                         period_range=(10_000, 500_000),
+                         resource_probability: float = 0.5,
+                         n_resources: int = 2,
+                         cs_fraction: float = 0.3,
+                         arbitrary_deadlines: bool = True,
+                         ) -> List[SpuriTask]:
+    """Random instances of the paper's §5.1 model.
+
+    Each task is sporadic with pseudo-period drawn log-uniformly; with
+    probability ``resource_probability`` it has one critical section of
+    up to ``cs_fraction`` of its WCET on one of ``n_resources`` shared
+    resources.  Deadlines are arbitrary (may be below the pseudo-period)
+    unless ``arbitrary_deadlines`` is False.
+    """
+    import math
+
+    rng = random.Random(seed)
+    utilizations = uunifast(n, total_utilization, rng)
+    low, high = period_range
+    tasks = []
+    for index, u in enumerate(utilizations):
+        pseudo_period = int(math.exp(rng.uniform(math.log(low),
+                                                 math.log(high))))
+        wcet = max(3, int(u * pseudo_period))
+        if arbitrary_deadlines:
+            deadline = rng.randint(max(wcet, pseudo_period // 2),
+                                   2 * pseudo_period)
+        else:
+            deadline = pseudo_period
+        if rng.random() < resource_probability:
+            cs = max(1, int(wcet * rng.uniform(0.05, cs_fraction)))
+            before_budget = wcet - cs
+            c_before = rng.randint(0, before_budget)
+            c_after = before_budget - c_before
+            resource = f"R{rng.randrange(n_resources)}"
+        else:
+            cs, resource = 0, None
+            c_before = wcet
+            c_after = 0
+        tasks.append(SpuriTask(name=f"spuri{index}", c_before=c_before,
+                               cs=cs, c_after=c_after, deadline=deadline,
+                               pseudo_period=pseudo_period,
+                               resource=resource))
+    return tasks

@@ -1,0 +1,35 @@
+"""Harmonic task sets.
+
+Harmonic periods (each period divides the next) are the classical
+family on which Rate Monotonic achieves full utilisation — used by the
+policy-comparison benchmark to show both sides of the RM/EDF crossover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.feasibility.taskset import AnalysisTask
+from repro.workloads.generators import uunifast
+
+
+def harmonic_taskset(n: int, total_utilization: float, seed: int,
+                     base_period: int = 10_000,
+                     multipliers: Sequence[int] = (2, 2, 2, 2, 2, 2, 2, 2),
+                     ) -> List[AnalysisTask]:
+    """Random harmonic set: periods base, base*m1, base*m1*m2, ..."""
+    if n - 1 > len(multipliers):
+        raise ValueError(
+            f"need {n - 1} multipliers for {n} tasks, got {len(multipliers)}")
+    rng = random.Random(seed)
+    utilizations = uunifast(n, total_utilization, rng)
+    tasks = []
+    period = base_period
+    for index, u in enumerate(utilizations):
+        wcet = max(1, int(u * period))
+        tasks.append(AnalysisTask(name=f"harm{index}", wcet=wcet,
+                                  deadline=period, period=period))
+        if index < n - 1:
+            period *= multipliers[index]
+    return tasks

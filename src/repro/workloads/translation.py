@@ -1,0 +1,75 @@
+"""Task-model translations into HEUGs.
+
+:func:`spuri_to_heug` is the paper's **Figure 3**: a Spuri task with a
+critical section becomes the chain
+
+    eu_i1 (w = c_before_i)
+      -> eu_i2 (w = cs_i, resource S, latest = B'_i)
+        -> eu_i3 (w = c_after_i)
+
+with the task deadline D = D_i carried by the HEUG.  The middle unit's
+*latest start time* is set to the worst-case blocking bound B'_i so
+the dispatcher's monitoring detects blocking beyond what the §5.3
+analysis assumed.  A task without a critical section translates to a
+single unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.attributes import EUAttributes, Periodic, Sporadic
+from repro.core.heug import Task
+from repro.core.resources import AccessMode, Resource
+from repro.feasibility.taskset import AnalysisTask, SpuriTask
+
+
+def spuri_to_heug(task: SpuriTask, node_id: str,
+                  resources: Dict[str, Resource],
+                  latest_blocking: Optional[int] = None,
+                  actual_fraction: float = 1.0) -> Task:
+    """Figure 3 translation of one Spuri task.
+
+    ``resources`` maps resource names to shared :class:`Resource`
+    objects (one per name across the whole task set, so that critical
+    sections actually contend).  ``latest_blocking`` is B'_i for the
+    middle unit's ``latest`` attribute.  ``actual_fraction`` scales the
+    actual execution times below the WCETs (1.0 = always worst case).
+    """
+    if not 0.0 < actual_fraction <= 1.0:
+        raise ValueError("actual_fraction must be in (0, 1]")
+    heug = Task(task.name, deadline=task.deadline,
+                arrival=Sporadic(task.pseudo_period), node_id=node_id)
+
+    def actual(wcet: int) -> int:
+        return max(0, int(wcet * actual_fraction)) if wcet else 0
+
+    if task.resource is None:
+        heug.code_eu("eu1", wcet=task.wcet, actual_time=actual(task.wcet))
+        return heug.validate()
+
+    resource = resources.setdefault(task.resource,
+                                    Resource(task.resource, node_id=node_id))
+    eu1 = heug.code_eu("eu1", wcet=task.c_before,
+                       actual_time=actual(task.c_before))
+    eu2 = heug.code_eu(
+        "eu2", wcet=task.cs, actual_time=actual(task.cs),
+        resources=[(resource, AccessMode.EXCLUSIVE)],
+        attrs=EUAttributes(latest=latest_blocking)
+        if latest_blocking is not None else None)
+    eu3 = heug.code_eu("eu3", wcet=task.c_after,
+                       actual_time=actual(task.c_after))
+    heug.chain(eu1, eu2, eu3)
+    return heug.validate()
+
+
+def periodic_to_heug(task: AnalysisTask, node_id: str,
+                     actual_fraction: float = 1.0) -> Task:
+    """A periodic analysis task as a single-unit HEUG."""
+    if not 0.0 < actual_fraction <= 1.0:
+        raise ValueError("actual_fraction must be in (0, 1]")
+    heug = Task(task.name, deadline=task.deadline,
+                arrival=Periodic(task.period), node_id=node_id)
+    actual = max(1, int(task.wcet * actual_fraction))
+    heug.code_eu("eu1", wcet=task.wcet, actual_time=min(actual, task.wcet))
+    return heug.validate()

@@ -1,0 +1,68 @@
+"""Tests for the avionics workload generators."""
+
+import pytest
+
+from repro.core.dispatcher import InstanceState
+from repro.core import DispatcherCosts
+from repro.feasibility import rm_utilization_test, utilization
+from repro.system import HadesSystem
+from repro.workloads import (
+    RATE_GROUP_PERIODS,
+    avionics_taskset,
+    random_pipeline,
+)
+
+
+class TestAvionicsTaskset:
+    def test_structure(self):
+        tasks = avionics_taskset(3, 0.6, seed=1)
+        assert len(tasks) == 3 * len(RATE_GROUP_PERIODS)
+        periods = {task.period for task in tasks}
+        assert periods == set(RATE_GROUP_PERIODS)
+
+    def test_utilization_near_target(self):
+        tasks = avionics_taskset(3, 0.6, seed=2)
+        assert utilization(tasks) == pytest.approx(0.6, abs=0.05)
+
+    def test_harmonic_periods_rm_friendly(self):
+        # Harmonic sets are RM-schedulable up to high utilisation; at
+        # 0.6 the Liu-Layland bound comfortably accepts them.
+        tasks = avionics_taskset(1, 0.6, seed=3)
+        assert rm_utilization_test(tasks)
+
+    def test_deterministic(self):
+        a = avionics_taskset(2, 0.5, seed=9)
+        b = avionics_taskset(2, 0.5, seed=9)
+        assert [(t.name, t.wcet) for t in a] == [(t.name, t.wcet) for t in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            avionics_taskset(0, 0.5, seed=1)
+
+
+class TestRandomPipeline:
+    def test_chain_shape(self):
+        chain = random_pipeline("p", ["n0", "n1"], seed=4, n_stages=4)
+        assert len(chain.code_eus()) == 4
+        assert len(chain.edges) == 3
+        order = chain.topological_order()
+        assert [eu.name for eu in order] == [f"stage{i}" for i in range(4)]
+
+    def test_deadline_has_slack(self):
+        chain = random_pipeline("p", ["n0"], seed=5, n_stages=3,
+                                deadline_slack=4.0)
+        assert chain.deadline == 4 * chain.total_wcet()
+
+    def test_executes_on_middleware(self):
+        chain = random_pipeline("p", ["n0", "n1"], seed=6, n_stages=3)
+        system = HadesSystem(node_ids=["n0", "n1"],
+                             costs=DispatcherCosts.zero())
+        instance = system.activate(chain)
+        system.run(until=chain.deadline * 3)
+        assert instance.state is InstanceState.DONE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_pipeline("p", [], seed=1)
+        with pytest.raises(ValueError):
+            random_pipeline("p", ["n0"], seed=1, deadline_slack=1.0)

@@ -1,0 +1,136 @@
+"""Tests for dynamic priority ceilings ([CL90]) and trace export."""
+
+import pytest
+
+from repro.core import (
+    AccessMode,
+    DispatcherCosts,
+    Resource,
+    Task,
+)
+from repro.core.dispatcher import InstanceState
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import DynamicPCPProtocol, EDFScheduler
+from repro.sim.trace import load_trace
+from repro.system import HadesSystem
+
+
+def make_system():
+    return HadesSystem(node_ids=["cpu"], costs=DispatcherCosts.zero())
+
+
+def cs_task(name, resource, deadline, before=50, cs=100, after=50):
+    task = Task(name, deadline=deadline, node_id="cpu")
+    a = task.code_eu("before", wcet=before)
+    b = task.code_eu("cs", wcet=cs,
+                     resources=[(resource, AccessMode.EXCLUSIVE)])
+    c = task.code_eu("after", wcet=after)
+    task.chain(a, b, c)
+    return task
+
+
+class TestDynamicPCP:
+    def test_bounds_inversion_under_edf(self):
+        """[CL90] with EDF: the urgent task waits at most the holder's
+        remaining critical section, not the medium work."""
+        def run(with_protocol):
+            system = make_system()
+            system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
+            resource = Resource("R", node_id="cpu")
+            low = cs_task("low", resource, deadline=100_000, cs=300)
+            urgent = cs_task("urgent", resource, deadline=1_500, cs=50)
+            medium = Task("medium", deadline=30_000, node_id="cpu")
+            medium.code_eu("spin", wcet=2_000)
+            if with_protocol:
+                system.attach_scheduler(DynamicPCPProtocol(
+                    [low, urgent, medium], scope="cpu", w_sched=0))
+            system.activate(low)
+            system.sim.call_in(60, lambda: system.activate(medium))
+            system.sim.call_in(80, lambda: system.activate(urgent))
+            system.run()
+            return (system.dispatcher.response_times("urgent")[0],
+                    system.monitor.count(ViolationKind.DEADLINE_MISS))
+
+        protected_response, protected_misses = run(True)
+        naive_response, naive_misses = run(False)
+        assert protected_misses == 0
+        assert protected_response < naive_response
+        assert naive_misses >= 1
+
+    def test_everything_completes_no_deadlock(self):
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
+        r1 = Resource("R1", node_id="cpu")
+        r2 = Resource("R2", node_id="cpu")
+        tasks = [
+            cs_task("t1", r1, deadline=5_000),
+            cs_task("t2", r2, deadline=8_000),
+            cs_task("t3", r1, deadline=20_000),
+            cs_task("t4", r2, deadline=40_000),
+        ]
+        system.attach_scheduler(DynamicPCPProtocol(tasks, scope="cpu",
+                                                   w_sched=0))
+        instances = []
+        for index, task in enumerate(tasks):
+            system.sim.call_in(index * 30,
+                               lambda t=task: instances.append(
+                                   system.activate(t)))
+        system.run()
+        assert all(i.state is InstanceState.DONE for i in instances)
+        assert r1.free and r2.free
+
+    def test_ceiling_tracks_live_priorities(self):
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
+        resource = Resource("R", node_id="cpu")
+        low = cs_task("low", resource, deadline=100_000)
+        high = cs_task("high", resource, deadline=1_000)
+        protocol = DynamicPCPProtocol([low, high], scope="cpu", w_sched=0)
+        system.attach_scheduler(protocol)
+        system.activate(low)
+        system.activate(high)
+        system.run(until=30)
+        # With both live, R's dynamic ceiling is the highest current
+        # priority among units that may claim R (the "cs" units).
+        ceiling = protocol._current_ceiling(resource)
+        live_cs_high = max(
+            eui.priority
+            for inst in system.dispatcher.active_instances()
+            for eui in inst.eu_instances.values()
+            if eui.is_code() and eui.eu.name == "cs")
+        assert ceiling == live_cs_high
+        system.run()
+
+
+class TestTraceExport:
+    def test_roundtrip(self, tmp_path):
+        system = make_system()
+        task = Task("t", deadline=1_000, node_id="cpu")
+        task.code_eu("eu", wcet=100)
+        system.activate(task)
+        system.run()
+        path = tmp_path / "trace.jsonl"
+        count = system.tracer.to_jsonl(str(path))
+        assert count == len(system.tracer)
+        loaded = load_trace(str(path))
+        assert len(loaded) == count
+        original = system.tracer.select("dispatcher", "instance_done")
+        replayed = loaded.select("dispatcher", "instance_done")
+        assert len(replayed) == len(original) == 1
+        assert replayed[0].time == original[0].time
+
+    def test_schedule_reconstruction_from_saved_trace(self, tmp_path):
+        from repro.analysis import schedule_intervals
+
+        system = make_system()
+        task = Task("t", node_id="cpu")
+        task.code_eu("eu", wcet=250)
+        system.activate(task)
+        system.run()
+        path = tmp_path / "trace.jsonl"
+        system.tracer.to_jsonl(str(path))
+        loaded = load_trace(str(path))
+        live = schedule_intervals(system.tracer, node="cpu")
+        replayed = schedule_intervals(loaded, node="cpu")
+        assert [(i.thread, i.start, i.end) for i in replayed] == \
+            [(i.thread, i.start, i.end) for i in live]

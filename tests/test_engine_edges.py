@@ -1,0 +1,157 @@
+"""Edge-case coverage for the simulation engine and kernel corners."""
+
+import pytest
+
+from repro.kernel import Compute, KThread, Node, Sleep, ThreadState
+from repro.sim import (
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEngineEdges:
+    def test_any_of_fails_if_first_child_fails(self, sim):
+        bad = sim.event()
+        combo = sim.any_of([sim.timeout(100), bad])
+        sim.call_in(5, lambda: bad.fail(RuntimeError("boom")))
+        sim.run()
+        assert combo.triggered and not combo.ok
+
+    def test_all_of_duplicate_events(self, sim):
+        shared = sim.timeout(10, value="v")
+        combo = sim.all_of([shared, shared])
+        sim.run()
+        assert combo.value == ["v", "v"]
+
+    def test_process_catches_kill_and_still_terminates(self, sim):
+        observed = []
+
+        def stubborn():
+            try:
+                yield sim.timeout(1_000)
+            except ProcessKilled:
+                observed.append("killed")
+                raise  # propagating ends the process successfully
+
+        proc = sim.process(stubborn())
+        sim.call_in(10, proc.kill)
+        sim.run()
+        assert observed == ["killed"]
+        assert proc.ok and proc.value is None
+
+    def test_interrupt_carries_cause_object(self, sim):
+        payload = {"reason": "mode switch"}
+
+        def sleeper():
+            try:
+                yield sim.timeout(500)
+            except Interrupt as intr:
+                return intr.cause
+
+        proc = sim.process(sleeper())
+        sim.call_in(5, lambda: proc.interrupt(payload))
+        sim.run()
+        assert proc.value is payload
+
+    def test_run_until_event(self, sim):
+        target = sim.timeout(300, value="hit")
+        sim.call_in(1_000, lambda: None)  # later noise
+        result = sim.run(until_event=target)
+        assert result == "hit"
+        assert sim.now == 300
+
+    def test_step_returns_false_when_idle(self, sim):
+        assert sim.step() is False
+        sim.call_in(1, lambda: None)
+        assert sim.step() is True
+
+    def test_pending_counts_scheduled_triggers(self, sim):
+        sim.call_in(5, lambda: None)
+        sim.call_in(10, lambda: None)
+        assert sim.pending == 2
+
+    def test_timeout_zero_fires_same_instant_in_order(self, sim):
+        order = []
+        sim.call_in(0, lambda: order.append("a"))
+        sim.call_in(0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.now == 0
+
+
+class TestKernelEdges:
+    def test_thread_double_start_rejected(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield Compute(1)
+
+        thread = node.spawn(body())
+        with pytest.raises(SimulationError):
+            thread.start()
+
+    def test_suspend_dead_thread_rejected(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield Compute(1)
+
+        thread = node.spawn(body())
+        sim.run()
+        with pytest.raises(SimulationError):
+            thread.suspend()
+
+    def test_resume_unsuspended_is_noop(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield Compute(10)
+
+        thread = node.spawn(body())
+        thread.resume()  # no-op, must not corrupt CPU state
+        sim.run()
+        assert thread.state is ThreadState.FINISHED
+
+    def test_suspend_resume_midflight_preserves_progress(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield Compute(100)
+            return sim.now
+
+        thread = node.spawn(body())
+        sim.call_in(30, thread.suspend)
+        sim.call_in(200, thread.resume)
+        sim.run()
+        # 30 done + suspended 170 + 70 remaining = 270.
+        assert thread.finished.value == 270
+        assert thread.cpu_time == 100
+
+    def test_sleep_zero(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield Sleep(0)
+            return sim.now
+
+        thread = node.spawn(body())
+        sim.run()
+        assert thread.finished.value == 0
+
+    def test_thread_body_typeerror_propagates_to_finished(self, sim):
+        node = Node(sim, "n0")
+
+        def body():
+            yield "not a request"
+
+        thread = node.spawn(body())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,28 @@
+"""Tests for the standalone experiment runner."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, find_benchmarks_dir, main
+
+
+class TestRunner:
+    def test_registry_covers_design_index(self):
+        # Figures, experiments, ablations and the perf guard.
+        assert {"F1", "F2", "F3"} <= set(EXPERIMENTS)
+        assert {f"E{i}" for i in range(1, 14)} <= set(EXPERIMENTS)
+        assert {"A1", "A5", "A7"} <= set(EXPERIMENTS)
+
+    def test_registry_files_exist(self):
+        benchmarks = find_benchmarks_dir()
+        assert benchmarks is not None
+        for filename in set(EXPERIMENTS.values()):
+            assert (benchmarks / filename).is_file(), filename
+
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_architecture.py" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,328 @@
+"""Unit tests for the HEUG task model, attributes, resources, condvars."""
+
+import pytest
+
+from repro.core import (
+    AccessMode,
+    Aperiodic,
+    CodeEU,
+    ConditionVariable,
+    EUAttributes,
+    InvEU,
+    Periodic,
+    Resource,
+    Sporadic,
+    Task,
+)
+from repro.core.costs import DispatcherCosts, KernelActivity, inflate_blocking, inflate_wcet
+
+
+class TestArrivalLaws:
+    def test_periodic_min_separation(self):
+        law = Periodic(period=100)
+        assert law.min_separation() == 100
+        assert not law.violates(None, 0)
+        assert not law.violates(0, 100)
+        assert law.violates(0, 99)
+
+    def test_sporadic_allows_larger_gaps(self):
+        law = Sporadic(pseudo_period=50)
+        assert not law.violates(0, 50)
+        assert not law.violates(0, 5000)
+        assert law.violates(0, 49)
+
+    def test_aperiodic_never_violates(self):
+        law = Aperiodic()
+        assert not law.violates(0, 0)
+        assert law.min_separation() is None
+        assert law.max_activations(1000) is None
+
+    def test_max_activations_ceiling(self):
+        assert Periodic(period=100).max_activations(250) == 3
+        assert Sporadic(pseudo_period=100).max_activations(200) == 2
+        assert Periodic(period=100).max_activations(0) == 0
+
+    def test_invalid_laws_rejected(self):
+        with pytest.raises(ValueError):
+            Periodic(period=0)
+        with pytest.raises(ValueError):
+            Sporadic(pseudo_period=-5)
+        with pytest.raises(ValueError):
+            Periodic(period=10, phase=-1)
+
+
+class TestEUAttributes:
+    def test_defaults(self):
+        attrs = EUAttributes()
+        assert attrs.pt is None
+        assert attrs.earliest is None
+
+    def test_latest_before_earliest_rejected(self):
+        with pytest.raises(ValueError):
+            EUAttributes(earliest=100, latest=50)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            EUAttributes(earliest=-1)
+        with pytest.raises(ValueError):
+            EUAttributes(deadline=0)
+
+    def test_copy_is_independent(self):
+        attrs = EUAttributes(prio=7, earliest=10)
+        clone = attrs.copy()
+        clone.prio = 9
+        assert attrs.prio == 7
+
+
+class TestResource:
+    def test_exclusive_excludes_everyone(self):
+        res = Resource("R")
+        res.grant("a", AccessMode.EXCLUSIVE)
+        assert not res.can_grant(AccessMode.EXCLUSIVE)
+        assert not res.can_grant(AccessMode.SHARED)
+
+    def test_shared_allows_more_shared(self):
+        res = Resource("R")
+        res.grant("a", AccessMode.SHARED)
+        assert res.can_grant(AccessMode.SHARED)
+        assert not res.can_grant(AccessMode.EXCLUSIVE)
+        res.grant("b", AccessMode.SHARED)
+        assert len(res.holders) == 2
+
+    def test_release_restores_availability(self):
+        res = Resource("R")
+        res.grant("a", AccessMode.EXCLUSIVE)
+        res.release("a")
+        assert res.free
+        assert res.can_grant(AccessMode.EXCLUSIVE)
+
+    def test_double_grant_rejected(self):
+        res = Resource("R")
+        res.grant("a", AccessMode.SHARED)
+        with pytest.raises(RuntimeError):
+            res.grant("a", AccessMode.SHARED)
+
+    def test_release_without_grant_rejected(self):
+        res = Resource("R")
+        with pytest.raises(RuntimeError):
+            res.release("ghost")
+
+    def test_grant_when_incompatible_rejected(self):
+        res = Resource("R")
+        res.grant("a", AccessMode.EXCLUSIVE)
+        with pytest.raises(RuntimeError):
+            res.grant("b", AccessMode.SHARED)
+
+
+class TestConditionVariable:
+    def test_set_and_clear(self):
+        cv = ConditionVariable("go")
+        assert not cv.is_set
+        cv.set()
+        assert cv.is_set
+        cv.clear()
+        assert not cv.is_set
+
+    def test_watchers_called_on_rising_edge_only(self):
+        cv = ConditionVariable("go")
+        calls = []
+        cv.watch(lambda c: calls.append(c.name))
+        cv.set()
+        cv.set()  # already set: no second call
+        assert calls == ["go"]
+        cv.clear()
+        cv.set()
+        assert calls == ["go", "go"]
+
+    def test_unwatch(self):
+        cv = ConditionVariable("go")
+        calls = []
+        watcher = lambda c: calls.append(1)
+        cv.watch(watcher)
+        cv.unwatch(watcher)
+        cv.set()
+        assert calls == []
+
+
+class TestTaskGraph:
+    def make_chain(self):
+        task = Task("chain", deadline=1000, node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=20)
+        c = task.code_eu("c", wcet=30)
+        task.chain(a, b, c)
+        return task, a, b, c
+
+    def test_sources_and_sinks(self):
+        task, a, b, c = self.make_chain()
+        assert task.sources() == [a]
+        assert task.sinks() == [c]
+
+    def test_predecessors_successors(self):
+        task, a, b, c = self.make_chain()
+        assert task.predecessors(b) == [a]
+        assert task.successors(b) == [c]
+
+    def test_topological_order_respects_edges(self):
+        task, a, b, c = self.make_chain()
+        order = task.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_cycle_detected(self):
+        task = Task("cyc", node_id="n0")
+        a = task.code_eu("a", wcet=1)
+        b = task.code_eu("b", wcet=1)
+        task.precede(a, b)
+        task.precede(b, a)
+        with pytest.raises(ValueError, match="cycle"):
+            task.validate()
+
+    def test_self_precedence_rejected(self):
+        task = Task("self", node_id="n0")
+        a = task.code_eu("a", wcet=1)
+        with pytest.raises(ValueError):
+            task.precede(a, a)
+
+    def test_duplicate_eu_name_rejected(self):
+        task = Task("dup", node_id="n0")
+        task.code_eu("a", wcet=1)
+        with pytest.raises(ValueError):
+            task.code_eu("a", wcet=2)
+
+    def test_empty_task_invalid(self):
+        with pytest.raises(ValueError):
+            Task("empty", node_id="n0").validate()
+
+    def test_eu_without_node_invalid(self):
+        task = Task("nonode")  # no default node
+        task.code_eu("a", wcet=1)
+        with pytest.raises(ValueError, match="processor"):
+            task.validate()
+
+    def test_remote_edge_detection(self):
+        task = Task("dist", node_id="n0")
+        a = task.code_eu("a", wcet=1)
+        b = task.code_eu("b", wcet=1, node_id="n1")
+        edge = task.precede(a, b)
+        assert task.is_remote(edge)
+        local = task.precede(a, task.code_eu("c", wcet=1))
+        assert not task.is_remote(local)
+
+    def test_resource_on_wrong_node_rejected(self):
+        task = Task("wrong", node_id="n0")
+        res = Resource("R", node_id="n1")
+        task.code_eu("a", wcet=1, resources=[(res, AccessMode.SHARED)])
+        with pytest.raises(ValueError, match="node"):
+            task.validate()
+
+    def test_duplicate_resource_claim_rejected(self):
+        res = Resource("R")
+        with pytest.raises(ValueError, match="twice"):
+            CodeEU("a", wcet=1, resources=[(res, AccessMode.SHARED),
+                                           (res, AccessMode.EXCLUSIVE)])
+
+    def test_duplicate_incoming_param_rejected(self):
+        task = Task("params", node_id="n0")
+        a = task.code_eu("a", wcet=1)
+        b = task.code_eu("b", wcet=1)
+        c = task.code_eu("c", wcet=1)
+        task.precede(a, c, param="x")
+        task.precede(b, c, param="x")
+        with pytest.raises(ValueError, match="parameter"):
+            task.validate()
+
+    def test_total_wcet_counts_code_eus_only(self):
+        task, a, b, c = self.make_chain()
+        other = Task("other", node_id="n0")
+        other.code_eu("x", wcet=5)
+        task.inv_eu("call", other)
+        assert task.total_wcet() == 60
+
+    def test_eu_belongs_to_one_task(self):
+        task1 = Task("t1", node_id="n0")
+        a = task1.code_eu("a", wcet=1)
+        task2 = Task("t2", node_id="n0")
+        with pytest.raises(ValueError):
+            task2.add(a)
+
+    def test_actual_time_validation(self):
+        eu = CodeEU("a", wcet=100, actual_time=50)
+        assert eu.resolve_actual({}) == 50
+        over = CodeEU("b", wcet=100, actual_time=150)
+        with pytest.raises(ValueError, match="exceeds"):
+            over.resolve_actual({})
+
+    def test_actual_time_callable_gets_inputs(self):
+        eu = CodeEU("a", wcet=100,
+                    actual_time=lambda inputs: inputs.get("n", 0) * 10)
+        assert eu.resolve_actual({"n": 3}) == 30
+
+    def test_precedence_must_join_members(self):
+        task = Task("t", node_id="n0")
+        a = task.code_eu("a", wcet=1)
+        foreign = CodeEU("f", wcet=1)
+        with pytest.raises(ValueError):
+            task.precede(a, foreign)
+
+
+class TestCostModel:
+    def test_inflate_single_unit(self):
+        task = Task("single", node_id="n0")
+        task.code_eu("a", wcet=100)
+        costs = DispatcherCosts(c_start_act=5, c_end_act=7, c_local=3)
+        assert inflate_wcet(task, costs) == 100 + 12
+
+    def test_inflate_figure3_shape(self):
+        # 3 Code_EUs + 2 local edges: the paper's resource-using task.
+        task = Task("fig3", node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=20)
+        c = task.code_eu("c", wcet=30)
+        task.chain(a, b, c)
+        costs = DispatcherCosts(c_start_act=5, c_end_act=5, c_local=8)
+        assert inflate_wcet(task, costs) == 60 + 3 * 10 + 2 * 8
+
+    def test_inflate_counts_remote_edges(self):
+        task = Task("dist", node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=10, node_id="n1")
+        task.precede(a, b)
+        costs = DispatcherCosts(c_local=3, c_remote=9, c_start_act=0,
+                                c_end_act=0)
+        assert inflate_wcet(task, costs) == 20 + 9
+
+    def test_inflate_counts_invocations(self):
+        inner = Task("inner", node_id="n0")
+        inner.code_eu("x", wcet=5)
+        task = Task("outer", node_id="n0")
+        task.inv_eu("call", inner)
+        costs = DispatcherCosts(c_start_inv=4, c_end_inv=6, c_start_act=0,
+                                c_end_act=0, c_local=0)
+        assert inflate_wcet(task, costs) == 10
+
+    def test_inflate_blocking(self):
+        costs = DispatcherCosts(c_start_act=5, c_end_act=5)
+        assert inflate_blocking(100, costs) == 110
+        with pytest.raises(ValueError):
+            inflate_blocking(-1, costs)
+
+    def test_zero_costs(self):
+        costs = DispatcherCosts.zero()
+        assert costs.per_action() == 0
+        assert costs.per_invocation() == 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            DispatcherCosts(c_local=-1)
+
+    def test_kernel_activity_demand(self):
+        act = KernelActivity("clock", wcet=15, pseudo_period=10_000)
+        assert act.demand(10_000) == 15
+        assert act.demand(10_001) == 30
+        assert act.demand(0) == 0
+
+    def test_kernel_activity_validation(self):
+        with pytest.raises(ValueError):
+            KernelActivity("bad", wcet=20, pseudo_period=10)
+        with pytest.raises(ValueError):
+            KernelActivity("bad", wcet=5, pseudo_period=0)

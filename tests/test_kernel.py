@@ -1,0 +1,430 @@
+"""Unit tests for the simulated RT kernel (CPU, threads, clocks, interrupts)."""
+
+import pytest
+
+from repro.kernel import (
+    ByzantineClock,
+    Compute,
+    HardwareClock,
+    KThread,
+    Node,
+    PRIO_MAX,
+    Sleep,
+    ThreadState,
+    WaitEvent,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def node(sim):
+    return Node(sim, "n0")
+
+
+class TestThreadsBasic:
+    def test_compute_consumes_time(self, sim, node):
+        def body():
+            yield Compute(100)
+            return sim.now
+
+        thread = node.spawn(body(), priority=5)
+        sim.run()
+        assert thread.finished.value == 100
+        assert thread.cpu_time == 100
+        assert thread.state is ThreadState.FINISHED
+
+    def test_zero_compute_is_instant(self, sim, node):
+        def body():
+            yield Compute(0)
+            return sim.now
+
+        thread = node.spawn(body())
+        sim.run()
+        assert thread.finished.value == 0
+
+    def test_sleep_blocks_without_cpu(self, sim, node):
+        def body():
+            yield Sleep(500)
+            return sim.now
+
+        thread = node.spawn(body())
+        sim.run()
+        assert thread.finished.value == 500
+        assert thread.cpu_time == 0
+
+    def test_wait_event_delivers_value(self, sim, node):
+        gate = sim.event()
+
+        def body():
+            got = yield WaitEvent(gate)
+            return got
+
+        thread = node.spawn(body())
+        sim.call_in(42, lambda: gate.succeed("opened"))
+        sim.run()
+        assert thread.finished.value == "opened"
+
+    def test_bare_event_yield_shorthand(self, sim, node):
+        gate = sim.event()
+
+        def body():
+            got = yield gate
+            return got
+
+        thread = node.spawn(body())
+        sim.call_in(1, lambda: gate.succeed(9))
+        sim.run()
+        assert thread.finished.value == 9
+
+    def test_body_exception_fails_finished_event(self, sim, node):
+        def body():
+            yield Compute(1)
+            raise ValueError("bad")
+
+        thread = node.spawn(body())
+        sim.run()
+        assert thread.finished.triggered
+        assert not thread.finished.ok
+
+    def test_kill_while_computing(self, sim, node):
+        def body():
+            yield Compute(1000)
+            return "should not happen"
+
+        thread = node.spawn(body())
+        sim.call_in(100, thread.kill)
+        sim.run()
+        assert thread.state is ThreadState.KILLED
+        assert thread.finished.value is None
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-5)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-5)
+
+
+class TestPreemptiveScheduling:
+    def test_higher_priority_preempts(self, sim, node):
+        log = []
+
+        def low():
+            yield Compute(100)
+            log.append(("low-done", sim.now))
+
+        def high():
+            yield Compute(20)
+            log.append(("high-done", sim.now))
+
+        node.spawn(low(), name="low", priority=1)
+        sim.call_in(10, lambda: node.spawn(high(), name="high", priority=9))
+        sim.run()
+        # high arrives at 10, runs 20 -> done at 30; low resumes, had 90
+        # left -> done at 120.
+        assert log == [("high-done", 30), ("low-done", 120)]
+
+    def test_equal_priority_fifo_no_preemption(self, sim, node):
+        log = []
+
+        def worker(name, amount):
+            yield Compute(amount)
+            log.append((name, sim.now))
+
+        node.spawn(worker("a", 50), priority=5)
+        sim.call_in(10, lambda: node.spawn(worker("b", 50), priority=5))
+        sim.run()
+        assert log == [("a", 50), ("b", 100)]
+
+    def test_preemption_threshold_blocks_preemption(self, sim, node):
+        log = []
+
+        def shielded():
+            yield Compute(100)
+            log.append(("shielded", sim.now))
+
+        def mid():
+            yield Compute(10)
+            log.append(("mid", sim.now))
+
+        node.spawn(shielded(), priority=1, preemption_threshold=8)
+        sim.call_in(5, lambda: node.spawn(mid(), priority=5))
+        sim.run()
+        # mid's priority (5) does not exceed the threshold (8): no preemption.
+        assert log == [("shielded", 100), ("mid", 110)]
+
+    def test_priority_above_threshold_still_preempts(self, sim, node):
+        log = []
+
+        def shielded():
+            yield Compute(100)
+            log.append(("shielded", sim.now))
+
+        def urgent():
+            yield Compute(10)
+            log.append(("urgent", sim.now))
+
+        node.spawn(shielded(), priority=1, preemption_threshold=8)
+        sim.call_in(5, lambda: node.spawn(urgent(), priority=9))
+        sim.run()
+        assert log == [("urgent", 15), ("shielded", 110)]
+
+    def test_dynamic_priority_raise_triggers_preemption(self, sim, node):
+        log = []
+
+        def worker(name, amount):
+            yield Compute(amount)
+            log.append((name, sim.now))
+
+        node.spawn(worker("runner", 100), priority=5)
+        waiter = None
+
+        def spawn_waiter():
+            nonlocal waiter
+            waiter = node.spawn(worker("waiter", 10), priority=1)
+
+        sim.call_in(10, spawn_waiter)
+        sim.call_in(20, lambda: waiter.set_priority(9))
+        sim.run()
+        assert log == [("waiter", 30), ("runner", 110)]
+
+    def test_preempted_thread_resumes_with_exact_remaining(self, sim, node):
+        def low():
+            yield Compute(100)
+            return sim.now
+
+        def high():
+            yield Compute(30)
+
+        t_low = node.spawn(low(), priority=1)
+        sim.call_in(50, lambda: node.spawn(high(), priority=9))
+        sim.run()
+        # low: 50 done before preemption + 30 high + 50 remaining = 130
+        assert t_low.finished.value == 130
+        assert t_low.cpu_time == 100
+
+    def test_context_switch_cost_charged_to_kernel(self, sim):
+        node = Node(sim, "cs", context_switch_cost=5)
+
+        def worker(amount):
+            yield Compute(amount)
+
+        node.spawn(worker(50), priority=1)
+        sim.run()
+        assert node.cpu.busy_time.get("kernel", 0) == 5
+        assert node.cpu.busy_time.get("application", 0) == 50
+
+    def test_many_threads_complete_in_priority_order(self, sim, node):
+        done = []
+
+        def worker(name):
+            yield Compute(10)
+            done.append(name)
+
+        # Spawned together; all READY before any runs.
+        for prio, name in [(1, "p1"), (7, "p7"), (3, "p3"), (9, "p9")]:
+            node.spawn(worker(name), name=name, priority=prio)
+        sim.run()
+        assert done == ["p9", "p7", "p3", "p1"]
+
+    def test_threshold_elevation_survives_kernel_preemption(self, sim, node):
+        """A started thread holds its preemption threshold as effective
+        priority even across a preemption by a higher-than-threshold
+        thread (classic PT semantics): after the interloper finishes,
+        the shielded thread resumes ahead of an equal-priority rival."""
+        log = []
+
+        def worker(name, amount):
+            yield Compute(amount)
+            log.append(name)
+
+        # shielded: prio 1, threshold 50; starts immediately.
+        node.spawn(worker("shielded", 200), priority=1,
+                   preemption_threshold=50)
+        # rival arrives at prio 50 (== threshold): cannot preempt.
+        sim.call_in(10, lambda: node.spawn(worker("rival", 50), priority=50))
+        # kernel-ish thread at 100 (> threshold) briefly preempts.
+        sim.call_in(20, lambda: node.spawn(worker("kernel", 10),
+                                           priority=100))
+        sim.run()
+        # After "kernel" finishes, shielded (boosted to 50, older seq)
+        # resumes before rival.
+        assert log == ["kernel", "shielded", "rival"]
+
+    def test_threshold_elevation_dropped_on_block(self, sim, node):
+        """Voluntarily blocking ends the elevation: after the sleep the
+        thread competes at its plain priority again."""
+        log = []
+
+        def sleeper():
+            yield Compute(10)
+            yield Sleep(100)
+            yield Compute(10)
+            log.append("sleeper")
+
+        def rival():
+            yield Compute(30)
+            log.append("rival")
+
+        node.spawn(sleeper(), priority=1, preemption_threshold=90)
+        sim.call_in(50, lambda: node.spawn(rival(), priority=50))
+        sim.run()
+        # sleeper blocks at t=10; rival runs 50..80; sleeper wakes at
+        # 110 with plain priority 1 — no elevation left, rival already
+        # done anyway; order of completion shows rival first.
+        assert log == ["rival", "sleeper"]
+
+    def test_cpu_accounting_matches_elapsed_busy_time(self, sim, node):
+        def worker(amount):
+            yield Compute(amount)
+            yield Sleep(37)
+            yield Compute(amount)
+
+        node.spawn(worker(100), priority=2)
+        sim.run()
+        assert node.cpu.utilization_time == 200
+        assert sim.now == 237
+
+
+class TestClocks:
+    def test_perfect_clock_tracks_real_time(self, sim):
+        clock = HardwareClock(sim)
+        sim.call_in(1000, lambda: None)
+        sim.run()
+        assert clock.read() == 1000
+
+    def test_drift_skews_reading(self, sim):
+        clock = HardwareClock(sim, drift=100e-6)
+        sim.call_in(1_000_000, lambda: None)
+        sim.run()
+        assert clock.read() == 1_000_000 + 100
+
+    def test_offset_and_adjust(self, sim):
+        clock = HardwareClock(sim, offset=500)
+        clock.adjust(-200)
+        assert clock.read() == 300
+
+    def test_local_to_real_inverts_read(self, sim):
+        clock = HardwareClock(sim, drift=50e-6, offset=123)
+        target_local = 2_000_000
+        real = clock.local_to_real(target_local)
+        # Advancing to `real` must make the clock read >= target.
+        sim.call_at(real, lambda: None)
+        sim.run()
+        assert clock.read() >= target_local
+        assert clock.read() - target_local <= 2
+
+    def test_unphysical_drift_rejected(self, sim):
+        with pytest.raises(ValueError):
+            HardwareClock(sim, drift=1.5)
+
+    def test_byzantine_clock_is_wildly_wrong(self, sim):
+        clock = ByzantineClock(sim)
+        sim.call_in(500, lambda: None)
+        sim.run()
+        assert abs(clock.read() - sim.now) > 1_000_000
+
+    def test_byzantine_clock_can_recover(self, sim):
+        clock = ByzantineClock(sim)
+        clock.byzantine = False
+        assert clock.read() == 0
+
+
+class TestInterrupts:
+    def test_interrupt_preempts_application(self, sim, node):
+        log = []
+
+        def app():
+            yield Compute(100)
+            log.append(("app", sim.now))
+
+        node.spawn(app(), priority=10, preemption_threshold=500)
+        sim.call_in(20, lambda: node.net_irq.fire())
+        sim.run()
+        # IRQ wcet=40 runs at PRIO_MAX despite the app threshold.
+        assert log == [("app", 140)]
+        assert node.net_irq.fire_count == 1
+
+    def test_interrupt_respects_pseudo_period(self, sim, node):
+        times = []
+        node.net_irq.handler = lambda _p: times.append(sim.now)
+        node.net_irq.fire()
+        node.net_irq.fire()  # immediate re-fire must be deferred
+        sim.run()
+        assert len(times) == 2
+        assert times[1] - times[0] >= node.net_irq.pseudo_period
+
+    def test_periodic_clock_tick_updates_software_clock(self, sim, node):
+        node.start_background_activities()
+        sim.run(until=35_000)
+        # Ticks at 0, 10000, 20000, 30000 → 4 increments.
+        assert node.software_clock == 4 * node.clock_tick.period
+        assert node.clock_tick.fire_count == 4
+
+    def test_wcet_longer_than_period_rejected(self, sim, node):
+        from repro.kernel.interrupts import InterruptSource
+        with pytest.raises(ValueError):
+            InterruptSource(node, "bad", wcet=100, pseudo_period=50)
+
+    def test_kernel_activity_parameters_reported(self, node):
+        params = node.kernel_activity_parameters()
+        assert set(params) == {"w_clock", "P_clock", "w_net", "P_net"}
+        assert params["w_clock"] == node.clock_tick.wcet
+
+
+class TestNodeFaults:
+    def test_crash_kills_threads(self, sim, node):
+        def body():
+            yield Compute(1000)
+            return "finished"
+
+        thread = node.spawn(body())
+        sim.call_in(100, node.crash)
+        sim.run()
+        assert node.crashed
+        assert thread.state is ThreadState.KILLED
+
+    def test_crashed_node_rejects_spawn(self, sim, node):
+        node.crash()
+        with pytest.raises(RuntimeError):
+            node.spawn((x for x in []))
+
+    def test_crash_listeners_notified(self, sim, node):
+        seen = []
+        node.on_crash(lambda n: seen.append(n.node_id))
+        node.crash()
+        assert seen == ["n0"]
+
+    def test_crash_suppresses_pending_timers(self, sim, node):
+        fired = []
+        node.after(100, lambda: fired.append("x"))
+        sim.call_in(50, node.crash)
+        sim.run()
+        assert fired == []
+
+    def test_recover_allows_spawn_again(self, sim, node):
+        node.crash()
+        node.recover()
+        thread = node.spawn((yield_ for yield_ in iter([])), name="t")
+        sim.run()
+        assert thread.finished.triggered
+
+    def test_crash_is_idempotent(self, sim, node):
+        node.crash()
+        node.crash()
+        assert node.crashed
+
+    def test_utilization_fraction(self, sim, node):
+        def body():
+            yield Compute(250)
+
+        node.spawn(body())
+        sim.call_in(1000, lambda: None)
+        sim.run()
+        assert node.utilization() == pytest.approx(0.25)

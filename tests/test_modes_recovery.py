@@ -1,0 +1,241 @@
+"""Tests for exception handling, recovery and mode switching."""
+
+import pytest
+
+from repro.core import DispatcherCosts, Periodic, Task
+from repro.core.dispatcher import InstanceState
+from repro.core.monitoring import ViolationKind
+from repro.services import ModeManager, RecoveryManager
+from repro.system import HadesSystem
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("node_ids", ["n0"])
+    kwargs.setdefault("costs", DispatcherCosts.zero())
+    return HadesSystem(**kwargs)
+
+
+def periodic_task(name, wcet, period, deadline=None, node="n0",
+                  recovery=None, action=None):
+    task = Task(name, deadline=deadline or period,
+                arrival=Periodic(period=period), node_id=node,
+                recovery=recovery)
+    task.code_eu("eu", wcet=wcet, action=action)
+    return task
+
+
+class TestExceptionHandling:
+    def test_action_error_activates_recovery_task(self):
+        system = make_system()
+        recovered = []
+        safe = Task("safe_mode_entry", node_id="n0")
+        safe.code_eu("enter", wcet=10,
+                     action=lambda ctx: recovered.append(ctx.now))
+        faulty = Task("faulty", node_id="n0", recovery=safe)
+
+        def explode(ctx):
+            raise RuntimeError("sensor range error")
+
+        faulty.code_eu("work", wcet=50, action=explode)
+        inst = system.activate(faulty)
+        system.run()
+        assert inst.state is InstanceState.ABORTED
+        assert recovered == [60]  # 50 (work) + 10 (recovery unit)
+        assert system.dispatcher.instances_of("safe_mode_entry")[0].state \
+            is InstanceState.DONE
+
+    def test_action_error_without_recovery_raises(self):
+        system = make_system()
+        faulty = Task("faulty", node_id="n0")
+
+        def explode(ctx):
+            raise RuntimeError("unhandled")
+
+        faulty.code_eu("work", wcet=10, action=explode)
+        system.activate(faulty)
+        with pytest.raises(RuntimeError, match="unhandled"):
+            system.run()
+
+    def test_recovery_chain_is_possible(self):
+        system = make_system()
+        order = []
+        last_resort = Task("last_resort", node_id="n0")
+        last_resort.code_eu("eu", wcet=5,
+                            action=lambda ctx: order.append("last"))
+        second = Task("second", node_id="n0", recovery=last_resort)
+
+        def also_fails(ctx):
+            order.append("second")
+            raise RuntimeError("still broken")
+
+        second.code_eu("eu", wcet=5, action=also_fails)
+        first = Task("first", node_id="n0", recovery=second)
+
+        def fails(ctx):
+            order.append("first")
+            raise RuntimeError("broken")
+
+        first.code_eu("eu", wcet=5, action=fails)
+        system.activate(first)
+        system.run()
+        # Action callbacks run before the raise is recorded: first
+        # failed, second failed, last resort completed.
+        assert order == ["first", "second", "last"]
+
+
+class TestRecoveryManager:
+    def test_deadline_miss_triggers_standard_recovery(self):
+        system = make_system()
+        recovered = []
+        fallback = Task("fallback", node_id="n0")
+        fallback.code_eu("eu", wcet=10,
+                         action=lambda ctx: recovered.append(ctx.now))
+        slow = Task("slow", deadline=100, node_id="n0", recovery=fallback)
+        slow.code_eu("eu", wcet=500)
+        manager = RecoveryManager(system.dispatcher)
+        manager.protect(slow)
+        inst = system.activate(slow)
+        system.run()
+        assert inst.state is InstanceState.ABORTED
+        assert manager.recoveries_triggered == 1
+        assert len(recovered) == 1
+        # Recovery activated promptly after the miss (deadline+1 check).
+        assert recovered[0] <= 100 + 1 + 10 + 5
+
+    def test_protect_requires_recovery_task(self):
+        system = make_system()
+        bare = Task("bare", deadline=100, node_id="n0")
+        bare.code_eu("eu", wcet=10)
+        manager = RecoveryManager(system.dispatcher)
+        with pytest.raises(ValueError):
+            manager.protect(bare)
+
+    def test_custom_handler_runs_on_matching_violation(self):
+        system = make_system()
+        seen = []
+        slow = Task("slow", deadline=50, node_id="n0")
+        slow.code_eu("eu", wcet=200)
+        manager = RecoveryManager(system.dispatcher)
+        manager.register(ViolationKind.DEADLINE_MISS, "slow",
+                         lambda violation: seen.append(violation.task))
+        system.activate(slow)
+        system.run()
+        assert seen == ["slow"]
+
+    def test_handler_not_called_for_other_tasks(self):
+        system = make_system()
+        seen = []
+        manager = RecoveryManager(system.dispatcher)
+        manager.register(ViolationKind.DEADLINE_MISS, "other",
+                         lambda violation: seen.append(violation.task))
+        slow = Task("slow", deadline=50, node_id="n0")
+        slow.code_eu("eu", wcet=200)
+        system.activate(slow)
+        system.run()
+        assert seen == []
+
+
+class TestModeManager:
+    def build(self):
+        system = make_system()
+        manager = ModeManager(system.dispatcher)
+        nominal_done = []
+        degraded_done = []
+        nominal = periodic_task(
+            "nominal_ctrl", wcet=100, period=1_000,
+            action=lambda ctx: nominal_done.append(ctx.now))
+        degraded = periodic_task(
+            "degraded_ctrl", wcet=50, period=2_000,
+            action=lambda ctx: degraded_done.append(ctx.now))
+        manager.define("nominal", [nominal])
+        manager.define("degraded", [degraded])
+        return system, manager, nominal_done, degraded_done
+
+    def test_initial_mode_drives_its_tasks(self):
+        system, manager, nominal_done, degraded_done = self.build()
+        manager.switch_to("nominal")
+        system.run(until=5_500)
+        assert len(nominal_done) == 6
+        assert degraded_done == []
+
+    def test_explicit_switch_stops_old_and_starts_new(self):
+        system, manager, nominal_done, degraded_done = self.build()
+        manager.switch_to("nominal")
+        system.sim.call_at(3_500, lambda: manager.switch_to("degraded"))
+        system.run(until=10_000)
+        # Nominal fired at 0,1000,2000,3000 then stopped.
+        assert len(nominal_done) == 4
+        assert len(degraded_done) >= 3
+        assert manager.current == "degraded"
+        assert [s.to_mode for s in manager.switches] == \
+            ["nominal", "degraded"]
+
+    def test_switch_aborts_in_flight_outgoing_instances(self):
+        system = make_system()
+        manager = ModeManager(system.dispatcher, abort_outgoing=True)
+        long_task = periodic_task("long", wcet=5_000, period=10_000)
+        idle = periodic_task("idle", wcet=10, period=10_000)
+        manager.define("busy", [long_task])
+        manager.define("quiet", [idle])
+        manager.switch_to("busy")
+        system.sim.call_at(1_000, lambda: manager.switch_to("quiet"))
+        system.run(until=20_000)
+        instance = system.dispatcher.instances_of("long")[0]
+        assert instance.state is InstanceState.ABORTED
+
+    def test_violation_policy_switches_mode(self):
+        system = make_system()
+        manager = ModeManager(system.dispatcher)
+        overloaded = periodic_task("overloaded", wcet=900, period=1_000,
+                                   deadline=800)
+        light = periodic_task("light", wcet=100, period=1_000)
+        manager.define("nominal", [overloaded])
+        manager.define("degraded", [light])
+        manager.on_violation(ViolationKind.DEADLINE_MISS,
+                             switch_to="degraded", threshold=2)
+        manager.switch_to("nominal")
+        system.run(until=20_000)
+        assert manager.current == "degraded"
+        assert manager.switches[-1].trigger.startswith("deadline_miss")
+        # After the switch, no further misses occur.
+        switch_time = manager.switches[-1].time
+        late_misses = [v for v in system.monitor.of_kind(
+            ViolationKind.DEADLINE_MISS) if v.time > switch_time + 1_000]
+        assert late_misses == []
+
+    def test_switch_latency_is_recorded_and_small(self):
+        system, manager, nominal_done, degraded_done = self.build()
+        manager.switch_to("nominal")
+        system.sim.call_at(2_500, lambda: manager.switch_to("degraded"))
+        system.run(until=6_000)
+        switch = manager.switches[-1]
+        assert switch.time == 2_500  # switching itself is immediate
+        # First degraded activation happens at the switch instant.
+        assert degraded_done[0] <= 2_500 + 50 + 1
+
+    def test_duplicate_mode_rejected(self):
+        system, manager, *_rest = self.build()
+        with pytest.raises(ValueError):
+            manager.define("nominal", [])
+
+    def test_unknown_mode_rejected(self):
+        system, manager, *_rest = self.build()
+        with pytest.raises(ValueError):
+            manager.switch_to("ghost")
+        with pytest.raises(ValueError):
+            manager.on_violation(ViolationKind.DEADLINE_MISS,
+                                 switch_to="ghost")
+
+    def test_switch_to_current_mode_is_noop(self):
+        system, manager, *_rest = self.build()
+        manager.switch_to("nominal")
+        manager.switch_to("nominal")
+        assert len(manager.switches) == 1
+
+    def test_stopped_driver_generates_nothing(self):
+        system = make_system()
+        task = periodic_task("p", wcet=10, period=100)
+        driver = system.dispatcher.register_periodic(task)
+        system.sim.call_at(250, driver.stop)
+        system.run(until=1_000)
+        assert driver.generated == 3  # t=0, 100, 200

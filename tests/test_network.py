@@ -1,0 +1,249 @@
+"""Unit tests for the simulated network substrate."""
+
+import random
+
+import pytest
+
+from repro.kernel import Node
+from repro.network import (
+    DeliveryOutcome,
+    Message,
+    Network,
+    OmissionFault,
+    PerformanceFault,
+)
+from repro.sim import Simulator, Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_net(sim, n=2, **kwargs):
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, **kwargs)
+    for i in range(n):
+        net.add_node(Node(sim, f"n{i}", tracer=tracer))
+    net.connect_all()
+    return net
+
+
+class TestBasicDelivery:
+    def test_message_arrives_with_payload(self, sim):
+        net = make_net(sim)
+        received = []
+        net.interfaces["n1"].on_receive(lambda m: received.append(m.payload))
+        net.interfaces["n0"].send("n1", {"x": 1})
+        sim.run()
+        assert received == [{"x": 1}]
+
+    def test_delivery_within_guaranteed_bound(self, sim):
+        net = make_net(sim, base_latency=100, jitter_bound=30, seed=7)
+        inbox = []
+        net.interfaces["n1"].on_receive(lambda m: inbox.append(m))
+        net.interfaces["n0"].send("n1", "hi", size=10)
+        sim.run()
+        irq_wcet = net.nodes["n1"].net_irq.wcet
+        bound = net.link("n0", "n1").guaranteed_bound(10) + irq_wcet
+        assert len(inbox) == 1
+        # Receive completes only after the IRQ handler WCET.
+        assert sim.now <= bound
+
+    def test_size_cost_scales_latency(self, sim):
+        net = make_net(sim, base_latency=10, size_cost_per_byte=2)
+        times = {}
+
+        def on_recv(m):
+            times[m.payload] = sim.now
+
+        net.interfaces["n1"].on_receive(on_recv)
+        net.interfaces["n0"].send("n1", "small", size=1)
+        sim.run()
+        t_small = times["small"]
+        net.interfaces["n0"].send("n1", "big", size=100)
+        sim.run()
+        t_big = times["big"] - t_small
+        assert t_big > t_small
+
+    def test_fifo_links_preserve_order(self, sim):
+        net = make_net(sim)
+        order = []
+        net.interfaces["n1"].on_receive(lambda m: order.append(m.payload))
+        for i in range(5):
+            net.interfaces["n0"].send("n1", i)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_kind_filtered_receivers(self, sim):
+        net = make_net(sim)
+        app, sync = [], []
+        net.interfaces["n1"].on_receive(lambda m: app.append(m.payload),
+                                        kind="app")
+        net.interfaces["n1"].on_receive(lambda m: sync.append(m.payload),
+                                        kind="clocksync")
+        net.interfaces["n0"].send("n1", 1, kind="app")
+        net.interfaces["n0"].send("n1", 2, kind="clocksync")
+        sim.run()
+        assert app == [1]
+        assert sync == [2]
+
+    def test_inbox_accumulates_and_drains(self, sim):
+        net = make_net(sim)
+        net.interfaces["n0"].send("n1", "a")
+        net.interfaces["n0"].send("n1", "b")
+        sim.run()
+        drained = net.interfaces["n1"].drain_inbox()
+        assert [m.payload for m in drained] == ["a", "b"]
+        assert net.interfaces["n1"].drain_inbox() == []
+
+    def test_no_route_counted(self, sim):
+        net = make_net(sim)
+        net.interfaces["n0"].send("ghost", "x")
+        sim.run()
+        assert net.lost_no_route == 1
+
+    def test_full_mesh_topology(self, sim):
+        net = make_net(sim, n=4)
+        assert len(net.links) == 4 * 3
+        assert net.node_ids() == ["n0", "n1", "n2", "n3"]
+
+    def test_duplicate_node_rejected(self, sim):
+        net = make_net(sim)
+        with pytest.raises(ValueError):
+            net.add_node(Node(sim, "n0"))
+
+
+class TestCrashSemantics:
+    def test_crashed_receiver_gets_nothing(self, sim):
+        net = make_net(sim)
+        received = []
+        net.interfaces["n1"].on_receive(lambda m: received.append(m))
+        net.nodes["n1"].crash()
+        net.interfaces["n0"].send("n1", "lost")
+        sim.run()
+        assert received == []
+
+    def test_crashed_sender_cannot_send(self, sim):
+        net = make_net(sim)
+        net.nodes["n0"].crash()
+        assert net.interfaces["n0"].send("n1", "x") is None
+
+    def test_message_in_flight_to_crashing_node_lost(self, sim):
+        net = make_net(sim, base_latency=100)
+        received = []
+        net.interfaces["n1"].on_receive(lambda m: received.append(m))
+        net.interfaces["n0"].send("n1", "x")
+        sim.call_in(50, net.nodes["n1"].crash)  # crash mid-flight
+        sim.run()
+        assert received == []
+
+
+class TestFaults:
+    def test_omission_fault_drops_planned_ids(self, sim):
+        net = make_net(sim)
+        received = []
+        net.interfaces["n1"].on_receive(lambda m: received.append(m.payload))
+        m1 = net.interfaces["n0"].send("n1", "keep")
+        fault = OmissionFault(drop_ids=set())
+        net.link("n0", "n1").add_fault(fault)
+        m2 = net.interfaces["n0"].send("n1", "keep2")
+        sim.run()
+        fault.drop_ids.add(m2.msg_id + 1)
+        m3 = net.interfaces["n0"].send("n1", "dropme")
+        assert m3.msg_id == m2.msg_id + 1
+        sim.run()
+        assert "dropme" not in received
+        assert fault.dropped == 1
+
+    def test_probabilistic_omission_is_deterministic_per_seed(self, sim):
+        def run(seed):
+            s = Simulator()
+            net = make_net(s)
+            fault = OmissionFault(probability=0.5, rng=random.Random(seed))
+            net.link("n0", "n1").add_fault(fault)
+            got = []
+            net.interfaces["n1"].on_receive(lambda m: got.append(m.payload))
+            for i in range(20):
+                net.interfaces["n0"].send("n1", i)
+            s.run()
+            return got
+
+        assert run(5) == run(5)
+        assert run(5) != run(6) or len(run(5)) < 20
+
+    def test_max_consecutive_omissions_bounded(self, sim):
+        net = make_net(sim)
+        fault = OmissionFault(probability=1.0, rng=random.Random(0),
+                              max_consecutive=2)
+        net.link("n0", "n1").add_fault(fault)
+        got = []
+        net.interfaces["n1"].on_receive(lambda m: got.append(m.payload))
+        for i in range(9):
+            net.interfaces["n0"].send("n1", i)
+        sim.run()
+        # Pattern: drop, drop, deliver, drop, drop, deliver, ...
+        assert got == [2, 5, 8]
+
+    def test_performance_fault_delivers_late(self, sim):
+        net = make_net(sim, base_latency=10)
+        link = net.link("n0", "n1")
+        link.add_fault(PerformanceFault(extra_delay=10_000))
+        arrival = []
+        net.interfaces["n1"].on_receive(lambda m: arrival.append(sim.now))
+        net.interfaces["n0"].send("n1", "slow", size=0)
+        sim.run()
+        assert arrival[0] > link.guaranteed_bound(0)
+        assert link.stats[DeliveryOutcome.LATE] == 1
+
+    def test_partition_and_heal(self, sim):
+        net = make_net(sim, n=4)
+        got = []
+        net.interfaces["n3"].on_receive(lambda m: got.append(m.payload))
+        net.partition(["n0", "n1"], ["n2", "n3"])
+        net.interfaces["n0"].send("n3", "blocked")
+        sim.run()
+        assert got == []
+        net.heal()
+        net.interfaces["n0"].send("n3", "through")
+        sim.run()
+        assert got == ["through"]
+
+    def test_omission_probability_validation(self):
+        with pytest.raises(ValueError):
+            OmissionFault(probability=1.5)
+        with pytest.raises(ValueError):
+            OmissionFault(probability=0.5)  # no rng
+
+    def test_burst_serialised_by_net_irq_pseudo_period(self, sim):
+        net = make_net(sim, base_latency=10)
+        arrivals = []
+        net.interfaces["n1"].on_receive(lambda m: arrivals.append(sim.now))
+        for i in range(3):
+            net.interfaces["n0"].send("n1", i)
+        sim.run()
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        pseudo = net.nodes["n1"].net_irq.pseudo_period
+        assert all(g >= pseudo for g in gaps)
+
+
+class TestMessage:
+    def test_latency_observable_after_delivery(self, sim):
+        net = make_net(sim, base_latency=75)
+        msg = net.interfaces["n0"].send("n1", "x", size=0)
+        assert msg.latency == -1
+        sim.run()
+        assert msg.latency == 75
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src="a", dst="b", payload=None, size=-1)
+
+    def test_unique_ids(self):
+        a = Message(src="a", dst="b", payload=None)
+        b = Message(src="a", dst="b", payload=None)
+        assert a.msg_id != b.msg_id
+
+    def test_max_message_delay_over_topology(self, sim):
+        net = make_net(sim, n=3, base_latency=40, jitter_bound=0)
+        assert net.max_message_delay(0) == 40

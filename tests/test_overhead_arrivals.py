@@ -1,0 +1,88 @@
+"""Tests for arrival-registration helpers and overhead reporting."""
+
+import pytest
+
+from repro.analysis.overhead import format_overhead, overhead_report
+from repro.core import DispatcherCosts, Sporadic, Task
+from repro.core.monitoring import ViolationKind
+from repro.system import HadesSystem
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("node_ids", ["n0"])
+    return HadesSystem(**kwargs)
+
+
+class TestArrivalRegistration:
+    def test_register_arrivals_fires_at_given_times(self):
+        system = make_system(costs=DispatcherCosts.zero())
+        task = Task("t", deadline=500, node_id="n0")
+        task.code_eu("eu", wcet=10)
+        system.dispatcher.register_arrivals(task, [100, 700, 1_500])
+        system.run()
+        activations = [i.activation_time
+                       for i in system.dispatcher.instances_of("t")]
+        assert activations == [100, 700, 1_500]
+
+    def test_register_max_rate_uses_pseudo_period(self):
+        system = make_system(costs=DispatcherCosts.zero())
+        task = Task("s", deadline=400, arrival=Sporadic(1_000),
+                    node_id="n0")
+        task.code_eu("eu", wcet=10)
+        system.dispatcher.register_max_rate(task, count=4)
+        system.run()
+        activations = [i.activation_time
+                       for i in system.dispatcher.instances_of("s")]
+        assert activations == [0, 1_000, 2_000, 3_000]
+        # Max-rate is exactly legal: no arrival-law violations.
+        assert system.monitor.count(ViolationKind.ARRIVAL_LAW) == 0
+
+    def test_register_max_rate_needs_cadence(self):
+        system = make_system()
+        task = Task("ap", node_id="n0")
+        task.code_eu("eu", wcet=10)
+        with pytest.raises(ValueError):
+            system.dispatcher.register_max_rate(task, count=3)
+
+
+class TestOverheadReport:
+    def test_model_matches_observation(self):
+        costs = DispatcherCosts(c_start_act=5, c_end_act=5, c_local=8)
+        system = make_system(costs=costs)
+        task = Task("t", node_id="n0")
+        a = task.code_eu("a", wcet=100)
+        b = task.code_eu("b", wcet=50)
+        task.precede(a, b)
+        system.activate(task)
+        system.run()
+        report = overhead_report(system)
+        assert report["consistent"]
+        assert report["ledger_total"] == 2 * 10 + 8
+        assert report["totals"]["application"] == 150
+        assert 0 < report["overhead_fraction"] < 0.5
+
+    def test_zero_cost_system_has_zero_overhead(self):
+        system = make_system(costs=DispatcherCosts.zero())
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=100)
+        system.activate(task)
+        system.run()
+        report = overhead_report(system)
+        assert report["overhead_fraction"] == 0.0
+        assert report["consistent"]
+
+    def test_formatting(self):
+        system = make_system(costs=DispatcherCosts())
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=100)
+        system.activate(task)
+        system.run()
+        text = format_overhead(overhead_report(system))
+        assert "consistent" in text
+        assert "n0:" in text
+
+    def test_idle_system(self):
+        system = make_system()
+        report = overhead_report(system)
+        assert report["busy_total"] == 0
+        assert report["overhead_fraction"] == 0.0

@@ -1,0 +1,424 @@
+"""Tests for the scheduling policies built over the dispatcher."""
+
+import pytest
+
+from repro.core import (
+    AccessMode,
+    DispatcherCosts,
+    EUAttributes,
+    Periodic,
+    Resource,
+    Sporadic,
+    Task,
+)
+from repro.core.dispatcher import InstanceState
+from repro.core.monitoring import ViolationKind
+from repro.scheduling import (
+    DMScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PCPProtocol,
+    RMScheduler,
+    SpringScheduler,
+    SRPProtocol,
+    preemption_levels,
+)
+from repro.system import HadesSystem
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("node_ids", ["n0"])
+    kwargs.setdefault("costs", DispatcherCosts.zero())
+    return HadesSystem(**kwargs)
+
+
+def simple_task(name, wcet, deadline, node="n0", arrival=None):
+    task = Task(name, deadline=deadline, arrival=arrival, node_id=node)
+    task.code_eu("eu", wcet=wcet)
+    return task
+
+
+class TestEDF:
+    def test_shorter_deadline_preempts(self):
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=1))
+        long_task = simple_task("long", wcet=500, deadline=10_000)
+        short_task = simple_task("short", wcet=100, deadline=300)
+        system.activate(long_task)
+        system.sim.call_in(100, lambda: system.activate(short_task))
+        system.run()
+        short_inst = system.dispatcher.instances_of("short")[0]
+        long_inst = system.dispatcher.instances_of("long")[0]
+        assert short_inst.response_time <= 300   # met its tight deadline
+        assert long_inst.response_time > 500     # was preempted
+
+    def test_edf_meets_full_utilization(self):
+        # Two tasks at total utilisation 1.0: EDF schedules them, RM can't.
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        t1 = simple_task("t1", wcet=500, deadline=1000,
+                         arrival=Periodic(period=1000))
+        t2 = simple_task("t2", wcet=1000, deadline=2000,
+                         arrival=Periodic(period=2000))
+        system.register_periodic(t1, count=10)
+        system.register_periodic(t2, count=5)
+        system.run()
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+        assert system.dispatcher.completed_instances == 15
+
+    def test_edf_matches_textbook_schedule(self):
+        # Classic example: T1=(C=1,T=4), T2=(C=2,T=6), T3=(C=3,T=8)
+        # (scaled x100); EDF meets all deadlines at U ~ 0.96.
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        for name, c, p in [("t1", 100, 400), ("t2", 200, 600),
+                           ("t3", 300, 800)]:
+            task = simple_task(name, wcet=c, deadline=p,
+                               arrival=Periodic(period=p))
+            system.register_periodic(task, count=6)
+        system.run()
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+    def test_ties_keep_activation_order(self):
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        done = []
+        for name in ("first", "second"):
+            task = Task(name, deadline=1000, node_id="n0")
+            task.code_eu("eu", wcet=100,
+                         action=lambda ctx, n=name: done.append(n))
+            system.activate(task)
+        system.run()
+        assert done == ["first", "second"]
+
+    def test_scheduler_cost_appears_in_accounting(self):
+        system = make_system()
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=5))
+        system.activate(simple_task("t", wcet=100, deadline=1000))
+        system.run()
+        assert system.nodes["n0"].cpu.busy_time.get("scheduler", 0) >= 5
+
+
+class TestFixedPriority:
+    def test_rm_assigns_by_period(self):
+        system = make_system()
+        fast = simple_task("fast", wcet=10, deadline=100,
+                           arrival=Periodic(period=100))
+        slow = simple_task("slow", wcet=50, deadline=1000,
+                           arrival=Periodic(period=1000))
+        scheduler = RMScheduler([slow, fast], scope="n0")
+        system.attach_scheduler(scheduler)
+        assert scheduler.priority_map["fast"] > scheduler.priority_map["slow"]
+
+    def test_rm_schedules_harmonic_set_at_full_utilization(self):
+        system = make_system()
+        t1 = simple_task("t1", wcet=500, deadline=1000,
+                         arrival=Periodic(period=1000))
+        t2 = simple_task("t2", wcet=1000, deadline=2000,
+                         arrival=Periodic(period=2000))
+        system.attach_scheduler(RMScheduler([t1, t2], scope="n0", w_sched=0))
+        system.register_periodic(t1, count=10)
+        system.register_periodic(t2, count=5)
+        system.run()
+        # Harmonic periods: RM achieves U=1.
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+    def test_rm_misses_where_edf_succeeds(self):
+        # The classic Liu-Layland counterexample (scaled x100):
+        # T1=(C=200,T=500), T2=(C=400,T=700): U = 0.971 < 1, above the
+        # 2-task RM bound 0.828.  RM: R2 = 400 + 2*200 = 800 > 700.
+        def run(policy):
+            system = make_system()
+            t1 = simple_task("t1", wcet=200, deadline=500,
+                             arrival=Periodic(period=500))
+            t2 = simple_task("t2", wcet=400, deadline=700,
+                             arrival=Periodic(period=700))
+            if policy == "rm":
+                system.attach_scheduler(RMScheduler([t1, t2], scope="n0",
+                                                    w_sched=0))
+            else:
+                system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+            system.register_periodic(t1, count=14)
+            system.register_periodic(t2, count=10)
+            system.run()
+            return system.monitor.count(ViolationKind.DEADLINE_MISS)
+
+        assert run("edf") == 0
+        assert run("rm") > 0
+
+    def test_rm_rejects_aperiodic_tasks(self):
+        task = simple_task("ap", wcet=10, deadline=100)
+        scheduler = RMScheduler([task])
+        with pytest.raises(ValueError):
+            scheduler.assign_priorities()
+
+    def test_dm_assigns_by_deadline(self):
+        urgent = simple_task("urgent", wcet=10, deadline=50,
+                             arrival=Periodic(period=1000))
+        relaxed = simple_task("relaxed", wcet=10, deadline=900,
+                              arrival=Periodic(period=1000))
+        scheduler = DMScheduler([relaxed, urgent])
+        mapping = scheduler.assign_priorities()
+        assert mapping["urgent"] > mapping["relaxed"]
+
+    def test_dm_requires_deadline(self):
+        task = Task("nodl", node_id="n0", arrival=Periodic(period=100))
+        task.code_eu("eu", wcet=10)
+        with pytest.raises(ValueError):
+            DMScheduler([task]).assign_priorities()
+
+    def test_dm_beats_rm_on_short_deadline_long_period(self):
+        # T1: period 1000 but deadline 120, T2: period 400, C=100.
+        # RM gives T2 higher priority -> T1 misses; DM gives T1 priority.
+        def run(make_sched):
+            system = make_system()
+            t1 = simple_task("t1", wcet=100, deadline=120,
+                             arrival=Periodic(period=1000))
+            t2 = simple_task("t2", wcet=100, deadline=400,
+                             arrival=Periodic(period=400))
+            system.attach_scheduler(make_sched([t1, t2]))
+            system.register_periodic(t1, count=4)
+            system.register_periodic(t2, count=10)
+            system.run()
+            return system.monitor.count(ViolationKind.DEADLINE_MISS)
+
+        assert run(lambda ts: DMScheduler(ts, scope="n0", w_sched=0)) == 0
+        assert run(lambda ts: RMScheduler(ts, scope="n0", w_sched=0)) > 0
+
+
+class TestFIFO:
+    def test_fifo_flattens_priorities_to_activation_order(self):
+        system = make_system()
+        system.attach_scheduler(FIFOScheduler(scope="n0", w_sched=0))
+        done = []
+        for index in range(4):
+            task = Task(f"t{index}", node_id="n0")
+            # Later tasks get nominally higher static priorities; FIFO
+            # must flatten them back to activation order.  Arrivals are
+            # staggered so the scheduler task treats each activation
+            # before the next one shows up.
+            task.code_eu("eu", wcet=50, attrs=EUAttributes(prio=10 + index),
+                         action=lambda ctx, i=index: done.append(i))
+            system.sim.call_in(index, lambda t=task: system.activate(t))
+        system.run()
+        assert done == [0, 1, 2, 3]
+
+
+class TestSRP:
+    def make_cs_task(self, name, resource, deadline, wcet_before=50,
+                     wcet_cs=100, wcet_after=50, arrival=None):
+        task = Task(name, deadline=deadline, arrival=arrival, node_id="n0")
+        a = task.code_eu("before", wcet=wcet_before)
+        b = task.code_eu("cs", wcet=wcet_cs,
+                         resources=[(resource, AccessMode.EXCLUSIVE)])
+        c = task.code_eu("after", wcet=wcet_after)
+        task.chain(a, b, c)
+        return task
+
+    def test_preemption_levels_by_deadline(self):
+        t1 = simple_task("short", wcet=1, deadline=100)
+        t2 = simple_task("long", wcet=1, deadline=1000)
+        levels = preemption_levels([t1, t2])
+        assert levels["short"] > levels["long"]
+
+    def test_job_blocked_at_most_once(self):
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        low = self.make_cs_task("low", res, deadline=100_000)
+        high = self.make_cs_task("high", res, deadline=1_000)
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        srp = SRPProtocol([low, high], scope="n0", w_sched=0)
+        system.attach_scheduler(srp)
+        system.activate(low)
+        # Arrive while low is inside its critical section.
+        system.sim.call_in(60, lambda: system.activate(high))
+        system.run()
+        for inst in system.dispatcher.active_instances():
+            assert False, f"unfinished {inst}"
+        assert srp.blocked_starts >= 1
+        # high is blocked before starting, then runs to completion with
+        # no further blocking: its "cs" unit never waits on the resource.
+        high_inst = system.dispatcher.instances_of("high")[0]
+        cs_eui = [e for e in high_inst.eu_instances.values()
+                  if e.eu.name == "cs"][0]
+        before_eui = [e for e in high_inst.eu_instances.values()
+                      if e.eu.name == "before"][0]
+        # The cs unit started as soon as its predecessor finished.
+        assert cs_eui.release_time is not None
+        assert before_eui.finish_time == cs_eui.release_time
+
+    def test_srp_prevents_unbounded_priority_inversion(self):
+        # Without SRP a medium task can interleave between low's CS and
+        # high; SRP keeps medium out until high finishes.
+        def run(with_srp):
+            system = make_system()
+            res = Resource("R", node_id="n0")
+            low = self.make_cs_task("low", res, deadline=100_000,
+                                    wcet_cs=200)
+            high = self.make_cs_task("high", res, deadline=1_000)
+            medium = simple_task("medium", wcet=700, deadline=5_000)
+            system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+            if with_srp:
+                system.attach_scheduler(
+                    SRPProtocol([low, high, medium], scope="n0", w_sched=0))
+            system.activate(low)
+            system.sim.call_in(60, lambda: system.activate(medium))
+            system.sim.call_in(80, lambda: system.activate(high))
+            system.run()
+            return system.dispatcher.instances_of("high")[0].response_time
+
+        assert run(with_srp=True) <= run(with_srp=False)
+
+    def test_system_ceiling_tracks_holders(self):
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        low = self.make_cs_task("low", res, deadline=10_000)
+        high = self.make_cs_task("high", res, deadline=100)
+        srp = SRPProtocol([low, high], scope="n0", w_sched=0)
+        system.attach_scheduler(srp)
+        assert srp.system_ceiling() == 0
+        res.grant("someone", AccessMode.EXCLUSIVE)
+        assert srp.system_ceiling() == srp.levels["high"]
+        res.release("someone")
+        assert srp.system_ceiling() == 0
+
+
+class TestPCP:
+    def test_inheritance_bounds_inversion(self):
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        # Static priorities: low=10, medium=50, high=90.
+        low = Task("low", deadline=100_000, node_id="n0")
+        low.code_eu("cs", wcet=300,
+                    resources=[(res, AccessMode.EXCLUSIVE)],
+                    attrs=EUAttributes(prio=10))
+        medium = Task("medium", deadline=100_000, node_id="n0")
+        medium.code_eu("eu", wcet=500, attrs=EUAttributes(prio=50))
+        high = Task("high", deadline=100_000, node_id="n0")
+        high.code_eu("cs", wcet=100,
+                     resources=[(res, AccessMode.EXCLUSIVE)],
+                     attrs=EUAttributes(prio=90))
+        pcp = PCPProtocol([low, medium, high], scope="n0", w_sched=0)
+        system.attach_scheduler(pcp)
+        system.activate(low)
+        system.sim.call_in(50, lambda: system.activate(medium))
+        system.sim.call_in(60, lambda: system.activate(high))
+        system.run()
+        high_inst = system.dispatcher.instances_of("high")[0]
+        # With inheritance, high waits only for low's remaining CS
+        # (300-60=240) plus its own 100: well under medium's 500.
+        assert high_inst.finish_time <= 60 + 240 + 100 + 10
+        assert pcp.inheritance_events >= 1
+
+    def test_restores_priority_after_release(self):
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        low = Task("low", node_id="n0")
+        low_cs = low.code_eu("cs", wcet=200,
+                             resources=[(res, AccessMode.EXCLUSIVE)],
+                             attrs=EUAttributes(prio=10))
+        tail = low.code_eu("tail", wcet=200, attrs=EUAttributes(prio=10))
+        low.precede(low_cs, tail)
+        high = Task("high", node_id="n0")
+        high.code_eu("cs", wcet=50,
+                     resources=[(res, AccessMode.EXCLUSIVE)],
+                     attrs=EUAttributes(prio=90))
+        pcp = PCPProtocol([low, high], scope="n0", w_sched=0)
+        system.attach_scheduler(pcp)
+        inst_low = system.activate(low)
+        system.sim.call_in(50, lambda: system.activate(high))
+        system.run()
+        cs_eui = inst_low.eu_instances[low_cs]
+        assert cs_eui.priority == 10  # restored after inheritance
+
+    def test_gate_lets_unrelated_tasks_through(self):
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        user = Task("user", node_id="n0")
+        user.code_eu("cs", wcet=100,
+                     resources=[(res, AccessMode.EXCLUSIVE)],
+                     attrs=EUAttributes(prio=10))
+        free = Task("free", node_id="n0")
+        free.code_eu("eu", wcet=10, attrs=EUAttributes(prio=90))
+        pcp = PCPProtocol([user, free], scope="n0", w_sched=0)
+        system.attach_scheduler(pcp)
+        system.activate(user)
+        system.sim.call_in(20, lambda: system.activate(free))
+        system.run()
+        free_inst = system.dispatcher.instances_of("free")[0]
+        assert free_inst.response_time <= 20  # preempted the CS freely
+
+
+class TestSpring:
+    def test_feasible_set_guaranteed_and_meets_deadlines(self):
+        system = make_system()
+        spring = SpringScheduler(scope="n0", w_sched=0)
+        system.attach_scheduler(spring)
+        for index in range(3):
+            task = simple_task(f"t{index}", wcet=100,
+                               deadline=1000 + 400 * index)
+            system.activate(task)
+        system.run()
+        assert spring.guaranteed_count == 3
+        assert spring.rejected_count == 0
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+    def test_infeasible_newcomer_rejected_not_running_tasks(self):
+        system = make_system()
+        spring = SpringScheduler(scope="n0", w_sched=0)
+        system.attach_scheduler(spring)
+        good = simple_task("good", wcet=800, deadline=1000)
+        system.activate(good)
+        # Arrives needing 500 by t=600 while 800-100=700 of good remain:
+        # no plan fits both.
+        impossible = simple_task("impossible", wcet=500, deadline=500)
+        system.sim.call_in(100, lambda: system.activate(impossible))
+        system.run()
+        assert spring.rejected_count == 1
+        good_inst = system.dispatcher.instances_of("good")[0]
+        assert good_inst.state is InstanceState.DONE
+        assert good_inst.response_time <= 1000
+
+    def test_guaranteed_tasks_never_miss(self):
+        # Overload: offer more work than fits; whatever Spring accepts
+        # must meet its deadline (the guarantee property).
+        system = make_system()
+        spring = SpringScheduler(scope="n0", w_sched=0)
+        system.attach_scheduler(spring)
+        for index in range(6):
+            task = simple_task(f"t{index}", wcet=400, deadline=1200)
+            system.sim.call_in(index * 10,
+                               lambda t=task: system.activate(t))
+        system.run()
+        assert spring.guaranteed_count + spring.rejected_count == 6
+        assert spring.rejected_count >= 1
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+    def test_heuristics_are_pluggable(self):
+        from repro.scheduling.spring import h_min_laxity, h_min_wcet
+        system = make_system()
+        spring = SpringScheduler(scope="n0", heuristic=h_min_laxity,
+                                 w_sched=0)
+        system.attach_scheduler(spring)
+        system.activate(simple_task("a", wcet=100, deadline=2000))
+        system.activate(simple_task("b", wcet=100, deadline=500))
+        system.run()
+        assert spring.guaranteed_count == 2
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+
+
+class TestCohabitation:
+    def test_guaranteed_and_best_effort_coexist(self):
+        # §2.2.1: one feasibility-tested scheduler + best-effort FIFO.
+        system = make_system(node_ids=["n0", "n1"])
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        system.attach_scheduler(FIFOScheduler(scope="n1", w_sched=0))
+        critical = simple_task("critical", wcet=100, deadline=500,
+                               arrival=Periodic(period=1000))
+        besteffort = simple_task("besteffort", wcet=300, deadline=100_000,
+                                 node="n1")
+        system.register_periodic(critical, count=5)
+        system.activate(besteffort)
+        system.run()
+        assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
+        assert system.dispatcher.completed_instances == 6

@@ -1,0 +1,356 @@
+"""Tests for state-oriented services: replication, storage, dependency."""
+
+import pytest
+
+from repro.kernel import Node
+from repro.network import Network
+from repro.services import (
+    ActiveReplication,
+    DependencyTracker,
+    PassiveReplication,
+    PersistentStore,
+    SemiActiveReplication,
+)
+from repro.services.replication import KeyValueMachine, ReplicationError
+from repro.sim import Simulator, Tracer
+
+
+def build_net(n, **kwargs):
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now)
+    net = Network(sim, tracer, **kwargs)
+    for i in range(n):
+        net.add_node(Node(sim, f"n{i}", tracer=tracer))
+    net.connect_all()
+    return sim, net
+
+
+class TestKeyValueMachine:
+    def test_operations(self):
+        machine = KeyValueMachine()
+        assert machine.apply(("set", "a", 1)) == 1
+        assert machine.apply(("add", "a", 4)) == 5
+        assert machine.apply(("get", "a")) == 5
+        assert machine.applied == 3
+
+    def test_snapshot_restore(self):
+        machine = KeyValueMachine()
+        machine.apply(("set", "k", "v"))
+        snap = machine.snapshot()
+        other = KeyValueMachine()
+        other.restore(snap)
+        assert other.apply(("get", "k")) == "v"
+
+    def test_unknown_request(self):
+        with pytest.raises(ValueError):
+            KeyValueMachine().apply(("frobnicate",))
+
+
+class TestActiveReplication:
+    def test_majority_answer(self):
+        sim, net = build_net(4)
+        svc = ActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        result = svc.submit(("set", "x", 10))
+        sim.run()
+        value, votes = result.value
+        assert value == 10
+        assert votes >= 2
+
+    def test_all_replicas_apply(self):
+        sim, net = build_net(4)
+        svc = ActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        svc.submit(("set", "x", 1))
+        sim.run()
+        assert all(r.machine.data == {"x": 1} for r in svc.replicas)
+
+    def test_tolerates_replica_crash(self):
+        sim, net = build_net(4)
+        svc = ActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        net.nodes["n2"].crash()
+        result = svc.submit(("set", "x", 5))
+        sim.run()
+        value, votes = result.value
+        assert value == 5
+        assert votes == 2
+
+    def test_voting_masks_coherent_value_failure(self):
+        sim, net = build_net(4)
+        svc = ActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        # One replica answers garbage consistently (coherent value
+        # failure, §2.1); 2-of-3 voting masks it.
+        svc.replicas[0].corrupt = lambda value: "garbage"
+        result = svc.submit(("set", "x", 7))
+        sim.run()
+        value, votes = result.value
+        assert value == 7
+        assert votes == 2
+
+    def test_no_quorum_fails(self):
+        sim, net = build_net(4)
+        svc = ActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        net.nodes["n1"].crash()
+        net.nodes["n2"].crash()
+        result = svc.submit(("set", "x", 1), timeout=10_000)
+        sim.run()
+        assert result.triggered and not result.ok
+        with pytest.raises(ReplicationError):
+            _ = result.value
+
+
+class TestPassiveReplication:
+    def test_primary_serves(self):
+        sim, net = build_net(4)
+        svc = PassiveReplication(net, "n0", ["n1", "n2", "n3"])
+        result = svc.submit(("set", "x", 3))
+        sim.run(until=100_000)
+        assert result.value == 3
+        assert svc.machines["n1"].data == {"x": 3}
+
+    def test_checkpoints_reach_backups(self):
+        sim, net = build_net(4)
+        svc = PassiveReplication(net, "n0", ["n1", "n2", "n3"],
+                                 checkpoint_every=1)
+        svc.submit(("set", "x", 3))
+        sim.run(until=100_000)
+        assert svc.machines["n2"].data == {"x": 3}
+        assert svc.machines["n3"].data == {"x": 3}
+
+    def test_failover_promotes_backup_and_preserves_state(self):
+        sim, net = build_net(4)
+        svc = PassiveReplication(net, "n0", ["n1", "n2", "n3"],
+                                 checkpoint_every=1)
+        svc.submit(("set", "x", 1))
+        sim.run(until=50_000)
+
+        def kill_primary():
+            svc.mark_crash()
+            net.nodes["n1"].crash()
+
+        sim.call_in(0, kill_primary)
+        sim.run(until=60_000)
+        late = svc.submit(("add", "x", 10), timeout=20_000, retries=10)
+        sim.run(until=400_000)
+        assert svc.primary != "n1"
+        assert late.triggered and late.ok
+        # State carried over through the checkpoint: 1 + 10.
+        assert late.value == 11
+        assert svc.failover_count == 1
+        assert len(svc.failover_times) == 1
+
+    def test_no_survivors_no_failover(self):
+        sim, net = build_net(2)
+        svc = PassiveReplication(net, "n0", ["n1"])
+        net.nodes["n1"].crash()
+        result = svc.submit(("set", "x", 1), timeout=5_000, retries=1)
+        sim.run(until=300_000)
+        assert result.triggered and not result.ok
+
+
+class TestSemiActiveReplication:
+    def test_leader_answers_and_followers_track(self):
+        sim, net = build_net(4)
+        svc = SemiActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        r1 = svc.submit(("set", "x", 1))
+        r2 = svc.submit(("add", "x", 2))
+        sim.run(until=100_000)
+        assert r1.value == 1
+        assert r2.value == 3
+        # Followers applied the same sequence.
+        assert svc.machines["n2"].data == {"x": 3}
+        assert svc.machines["n3"].data == {"x": 3}
+
+    def test_failover_uses_warm_follower_state(self):
+        sim, net = build_net(4)
+        svc = SemiActiveReplication(net, "n0", ["n1", "n2", "n3"])
+        svc.submit(("set", "x", 5))
+        sim.run(until=50_000)
+
+        def kill_leader():
+            svc.mark_crash()
+            net.nodes["n1"].crash()
+
+        sim.call_in(0, kill_leader)
+        sim.run(until=60_000)
+        late = svc.submit(("add", "x", 1), timeout=200_000)
+        sim.run(until=500_000)
+        assert svc.leader != "n1"
+        assert late.triggered and late.ok
+        assert late.value == 6  # warm state: no restore step
+        assert svc.failover_count == 1
+
+    def test_semi_active_failover_faster_than_passive(self):
+        def run(style):
+            sim, net = build_net(4)
+            cls = (SemiActiveReplication if style == "semi"
+                   else PassiveReplication)
+            kwargs = {} if style == "semi" else {"checkpoint_every": 1}
+            svc = cls(net, "n0", ["n1", "n2", "n3"], **kwargs)
+            svc.submit(("set", "x", 1))
+            sim.run(until=50_000)
+            svc.mark_crash()
+            net.nodes["n1"].crash()
+            late = svc.submit(("add", "x", 1), timeout=15_000,
+                              **({} if style == "semi" else {"retries": 20}))
+            sim.run(until=1_000_000)
+            assert late.triggered and late.ok
+            return svc.failover_times[0]
+
+        # Semi-active pays only detection; passive adds request retry
+        # round-trips.  Allow equality (both dominated by detection).
+        assert run("semi") <= run("passive")
+
+
+class TestPersistentStore:
+    def make(self, write_latency=100):
+        sim = Simulator()
+        node = Node(sim, "n0")
+        store = PersistentStore(node, write_latency=write_latency)
+        return sim, node, store
+
+    def test_put_get(self):
+        sim, node, store = self.make()
+        done = store.put("k", 42)
+        sim.run()
+        assert done.value == 42
+        assert store.get("k") == 42
+
+    def test_write_costs_time(self):
+        sim, node, store = self.make(write_latency=250)
+        store.put("k", 1)
+        sim.run()
+        assert sim.now == 250
+
+    def test_data_survives_crash(self):
+        sim, node, store = self.make()
+        store.put("k", "stable")
+        sim.run()
+        node.crash()
+        node.recover()
+        assert store.get("k") == "stable"
+
+    def test_read_during_crash_fails(self):
+        sim, node, store = self.make()
+        store.put("k", 1)
+        sim.run()
+        node.crash()
+        with pytest.raises(RuntimeError):
+            store.get("k")
+
+    def test_in_flight_write_lost_on_crash(self):
+        sim, node, store = self.make(write_latency=1_000)
+        store.put("k", "lost")
+        sim.call_in(500, node.crash)
+        sim.run()
+        node.recover()
+        assert store.get("k") is None
+
+    def test_transaction_commits_atomically(self):
+        sim, node, store = self.make()
+        store.begin()
+        store.stage("a", 1)
+        store.stage("b", 2)
+        done = store.commit()
+        sim.run()
+        assert done.value == 2
+        assert store.get("a") == 1 and store.get("b") == 2
+
+    def test_transaction_crash_applies_nothing(self):
+        sim, node, store = self.make(write_latency=1_000)
+        store.begin()
+        store.stage("a", 1)
+        store.stage("b", 2)
+        store.commit()
+        sim.call_in(500, node.crash)  # mid-commit
+        sim.run()
+        node.recover()
+        assert store.get("a") is None
+        assert store.get("b") is None
+
+    def test_abort_discards_staged(self):
+        sim, node, store = self.make()
+        store.begin()
+        store.stage("a", 1)
+        store.abort()
+        sim.run()
+        assert store.get("a") is None
+        assert store.aborted_transactions == 1
+
+    def test_nested_begin_rejected(self):
+        sim, node, store = self.make()
+        store.begin()
+        with pytest.raises(RuntimeError):
+            store.begin()
+
+    def test_capture_restore_roundtrip(self):
+        sim, node, store = self.make()
+        cid = store.capture({"position": 10, "mode": "cruise"})
+        node.crash()
+        node.recover()
+        assert store.latest_capture() == cid
+        assert store.restore_capture(cid) == {"position": 10,
+                                              "mode": "cruise"}
+
+    def test_restore_unknown_capture(self):
+        sim, node, store = self.make()
+        with pytest.raises(KeyError):
+            store.restore_capture(99)
+
+    def test_log_records_history(self):
+        sim, node, store = self.make()
+        store.put("a", 1)
+        sim.run()
+        store.capture({"s": 1})
+        ops = [entry[1] for entry in store.log]
+        assert ops == ["put", "capture"]
+
+
+class TestDependencyTracker:
+    def test_direct_and_transitive_dependents(self):
+        tracker = DependencyTracker()
+        tracker.record("A", "B")
+        tracker.record("B", "C")
+        tracker.record("A", "D")
+        assert tracker.dependents_of("A") == {"B", "C", "D"}
+        assert tracker.depends_on("C") == {"B", "A"}
+
+    def test_invalidate_cascades(self):
+        tracker = DependencyTracker()
+        tracker.record("A", "B")
+        tracker.record("B", "C")
+        tracker.record("X", "Y")
+        casualties = tracker.invalidate("A")
+        assert casualties == {"A", "B", "C"}
+        assert not tracker.is_valid("B")
+        assert tracker.is_valid("Y")
+
+    def test_read_write_tracking(self):
+        tracker = DependencyTracker()
+        tracker.record_write("producer", "sensor.x")
+        tracker.record_read("consumer", "sensor.x")
+        assert tracker.dependents_of("producer") == {"consumer"}
+
+    def test_read_before_any_write_is_free(self):
+        tracker = DependencyTracker()
+        tracker.record_read("consumer", "never.written")
+        assert tracker.depends_on("consumer") == set()
+
+    def test_self_dependency_ignored(self):
+        tracker = DependencyTracker()
+        tracker.record("A", "A")
+        assert tracker.dependents_of("A") == set()
+
+    def test_dispatcher_abort_invalidates(self):
+        from repro.core import Task
+        from repro.services.dependency import track_dispatcher
+        from repro.system import HadesSystem
+
+        system = HadesSystem(node_ids=["n0"], on_deadline_miss="abort")
+        tracker = DependencyTracker()
+        track_dispatcher(tracker, system.dispatcher)
+        task = Task("late", deadline=50, node_id="n0")
+        task.code_eu("a", wcet=100)
+        inst = system.activate(task)
+        tracker.record((inst.task.name, inst.seq), "downstream-consumer")
+        system.run()
+        assert not tracker.is_valid(("late", 1))
+        assert not tracker.is_valid("downstream-consumer")

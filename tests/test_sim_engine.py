@@ -1,0 +1,344 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Tracer,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        evt = sim.event("e")
+        assert not evt.triggered
+        with pytest.raises(SimulationError):
+            _ = evt.value
+
+    def test_succeed_delivers_value(self, sim):
+        evt = sim.event()
+        evt.succeed(42)
+        assert evt.triggered
+        assert evt.ok
+        assert evt.value == 42
+
+    def test_succeed_twice_is_error(self, sim):
+        evt = sim.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_fail_raises_on_value_access(self, sim):
+        evt = sim.event()
+        evt.fail(ValueError("boom"))
+        assert evt.triggered
+        assert not evt.ok
+        with pytest.raises(ValueError):
+            _ = evt.value
+
+    def test_fail_requires_exception(self, sim):
+        evt = sim.event()
+        with pytest.raises(TypeError):
+            evt.fail("not an exception")
+
+    def test_callbacks_fire_in_order(self, sim):
+        evt = sim.event()
+        calls = []
+        evt.add_callback(lambda e: calls.append(1))
+        evt.add_callback(lambda e: calls.append(2))
+        evt.succeed()
+        sim.run()
+        assert calls == [1, 2]
+
+    def test_late_callback_runs_immediately(self, sim):
+        evt = sim.event()
+        evt.succeed(7)
+        sim.run()
+        seen = []
+        evt.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestTimeoutAndTime:
+    def test_time_advances_to_timeout(self, sim):
+        fired = []
+        t = sim.timeout(100, value="x")
+        t.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(100, "x")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_same_instant_fifo_order(self, sim):
+        order = []
+        sim.call_in(50, lambda: order.append("a"))
+        sim.call_in(50, lambda: order.append("b"))
+        sim.call_in(10, lambda: order.append("first"))
+        sim.run()
+        assert order == ["first", "a", "b"]
+
+    def test_run_until_stops_clock(self, sim):
+        sim.call_in(1000, lambda: None)
+        sim.run(until=300)
+        assert sim.now == 300
+        assert sim.pending == 1
+
+    def test_run_until_in_past_rejected(self, sim):
+        sim.call_in(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_call_at_absolute(self, sim):
+        seen = []
+        sim.call_at(77, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [77]
+
+    def test_call_at_past_rejected(self, sim):
+        sim.call_in(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(50, lambda: None)
+
+    def test_clock_is_integer_microseconds(self, sim):
+        sim.call_in(3, lambda: None)
+        sim.run()
+        assert isinstance(sim.now, int)
+
+
+class TestProcess:
+    def test_process_runs_and_returns(self, sim):
+        def worker():
+            yield sim.timeout(10)
+            yield sim.timeout(5)
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.triggered
+        assert proc.value == "done"
+        assert sim.now == 15
+
+    def test_process_receives_event_values(self, sim):
+        def worker():
+            got = yield sim.timeout(1, value="hello")
+            return got
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.value == "hello"
+
+    def test_processes_wait_for_each_other(self, sim):
+        def child():
+            yield sim.timeout(30)
+            return 99
+
+        def parent():
+            result = yield sim.process(child())
+            return result + 1
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == 100
+
+    def test_process_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise RuntimeError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as err:
+                return f"caught: {err}"
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == "caught: child died"
+
+    def test_interrupt_is_raised_at_yield_point(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+            return "slept"
+
+        proc = sim.process(sleeper())
+        sim.call_in(10, lambda: proc.interrupt("wakeup"))
+        sim.run()
+        assert proc.value == ("interrupted", "wakeup", 10)
+
+    def test_interrupted_process_stops_waiting_on_old_event(self, sim):
+        resumed = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(50)
+            except Interrupt:
+                pass
+            yield sim.timeout(100)
+            resumed.append(sim.now)
+
+        proc = sim.process(sleeper())
+        sim.call_in(10, lambda: proc.interrupt())
+        sim.run()
+        # 10 (interrupt) + 100 — the old timeout at t=50 must not resume it.
+        assert resumed == [110]
+        assert proc.alive is False
+
+    def test_kill_terminates_quietly(self, sim):
+        steps = []
+
+        def worker():
+            steps.append("a")
+            yield sim.timeout(100)
+            steps.append("b")
+
+        proc = sim.process(worker())
+        sim.call_in(5, proc.kill)
+        sim.run()
+        assert steps == ["a"]
+        assert proc.triggered
+        assert proc.ok
+        assert proc.value is None
+
+    def test_kill_dead_process_is_noop(self, sim):
+        def worker():
+            yield sim.timeout(1)
+
+        proc = sim.process(worker())
+        sim.run()
+        proc.kill()  # must not raise
+        assert not proc.alive
+
+    def test_interrupt_dead_process_is_error(self, sim):
+        def worker():
+            yield sim.timeout(1)
+
+        proc = sim.process(worker())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def worker():
+            yield 42
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.triggered
+        assert not proc.ok
+
+    def test_creator_continues_before_new_process_starts(self, sim):
+        order = []
+
+        def child():
+            order.append("child")
+            yield sim.timeout(0)
+
+        def parent():
+            sim.process(child())
+            order.append("parent-after-spawn")
+            yield sim.timeout(0)
+
+        sim.process(parent())
+        sim.run()
+        assert order[0] == "parent-after-spawn"
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, sim):
+        combo = sim.all_of([sim.timeout(10, "a"), sim.timeout(5, "b")])
+        sim.run()
+        assert combo.value == ["a", "b"]
+        assert sim.now == 10
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        combo = sim.all_of([])
+        assert combo.triggered
+
+    def test_all_of_fails_fast(self, sim):
+        bad = sim.event()
+        combo = sim.all_of([sim.timeout(100), bad])
+        sim.call_in(5, lambda: bad.fail(RuntimeError("x")))
+        sim.run()
+        assert combo.triggered
+        assert not combo.ok
+
+    def test_any_of_first_wins(self, sim):
+        combo = sim.any_of([sim.timeout(10, "slow"), sim.timeout(2, "fast")])
+        sim.run()
+        assert combo.value == (1, "fast")
+        assert sim.now >= 2
+
+    def test_any_of_requires_events(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            tracer = Tracer(lambda: sim.now)
+            import random
+            rng = random.Random(1234)
+
+            def worker(name):
+                for _ in range(5):
+                    yield sim.timeout(rng.randrange(1, 100))
+                    tracer.record("test", "step", who=name)
+
+            for n in range(4):
+                sim.process(worker(f"w{n}"))
+            sim.run()
+            return [(r.time, r.details["who"]) for r in tracer]
+
+        assert build_and_run() == build_and_run()
+
+
+class TestTracer:
+    def test_records_and_filters(self, sim):
+        tracer = Tracer(lambda: sim.now)
+        tracer.record("a", "x", k=1)
+        tracer.record("a", "y", k=2)
+        tracer.record("b", "x", k=1)
+        assert len(tracer) == 3
+        assert len(tracer.select(category="a")) == 2
+        assert len(tracer.select(event="x")) == 2
+        assert len(tracer.select(category="a", event="x", k=1)) == 1
+        assert tracer.count(category="b") == 1
+
+    def test_requires_clock(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            tracer.record("a", "b")
+
+    def test_subscribe_sees_new_records(self, sim):
+        tracer = Tracer(lambda: sim.now)
+        seen = []
+        tracer.subscribe(lambda rec: seen.append(rec.event))
+        tracer.record("c", "evt")
+        assert seen == ["evt"]
+
+    def test_dump_renders(self, sim):
+        tracer = Tracer(lambda: sim.now)
+        tracer.record("cat", "ev", value=3)
+        text = tracer.dump()
+        assert "cat/ev" in text
+        assert "value=3" in text

@@ -1,0 +1,237 @@
+"""Tests for kernel synchronisation primitives, devices, and
+interrupt-triggered activation."""
+
+import pytest
+
+from repro.core import DispatcherCosts, Task
+from repro.core.dispatcher import InstanceState
+from repro.kernel import (
+    Actuator,
+    Compute,
+    KBarrier,
+    KMutex,
+    KSemaphore,
+    Node,
+    Sensor,
+    WaitEvent,
+)
+from repro.sim import Simulator
+from repro.system import HadesSystem
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def node(sim):
+    return Node(sim, "n0")
+
+
+class TestKSemaphore:
+    def test_acquire_release_basic(self, sim):
+        sem = KSemaphore(sim, initial=1)
+        grant = sem.acquire()
+        assert grant.triggered
+        assert sem.count == 0
+        sem.release()
+        assert sem.count == 1
+
+    def test_blocking_acquire_wakes_on_release(self, sim, node):
+        sem = KSemaphore(sim, initial=1)
+        order = []
+
+        def holder():
+            yield WaitEvent(sem.acquire())
+            yield Compute(100)
+            order.append(("holder-done", sim.now))
+            sem.release()
+
+        def waiter():
+            yield WaitEvent(sem.acquire())
+            order.append(("waiter-in", sim.now))
+            sem.release()
+
+        node.spawn(holder(), priority=5)
+        node.spawn(waiter(), priority=5)
+        sim.run()
+        assert order == [("holder-done", 100), ("waiter-in", 100)]
+
+    def test_priority_ordered_wakeup(self, sim):
+        sem = KSemaphore(sim, initial=0)
+        woken = []
+        low = sem.acquire(priority=1)
+        high = sem.acquire(priority=9)
+        low.add_callback(lambda e: woken.append("low"))
+        high.add_callback(lambda e: woken.append("high"))
+        sem.release()
+        sem.release()
+        sim.run()
+        assert woken == ["high", "low"]
+
+    def test_fifo_among_equal_priorities(self, sim):
+        sem = KSemaphore(sim, initial=0)
+        woken = []
+        first = sem.acquire(priority=5)
+        second = sem.acquire(priority=5)
+        first.add_callback(lambda e: woken.append("first"))
+        second.add_callback(lambda e: woken.append("second"))
+        sem.release()
+        sem.release()
+        sim.run()
+        assert woken == ["first", "second"]
+
+    def test_try_acquire(self, sim):
+        sem = KSemaphore(sim, initial=1)
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.try_acquire()
+
+    def test_counting_semantics(self, sim):
+        sem = KSemaphore(sim, initial=3)
+        assert sem.acquire().triggered
+        assert sem.acquire().triggered
+        assert sem.acquire().triggered
+        assert not sem.acquire().triggered  # fourth blocks
+
+    def test_negative_initial_rejected(self, sim):
+        with pytest.raises(ValueError):
+            KSemaphore(sim, initial=-1)
+
+    def test_contention_counted(self, sim):
+        sem = KSemaphore(sim, initial=0)
+        sem.acquire()
+        assert sem.contentions == 1
+
+
+class TestKMutex:
+    def test_release_while_free_rejected(self, sim):
+        mutex = KMutex(sim)
+        with pytest.raises(RuntimeError):
+            mutex.release()
+
+    def test_lock_unlock_cycle(self, sim):
+        mutex = KMutex(sim)
+        assert mutex.acquire().triggered
+        mutex.release()
+        assert mutex.acquire().triggered
+
+
+class TestKBarrier:
+    def test_releases_when_full(self, sim):
+        barrier = KBarrier(sim, parties=3)
+        events = [barrier.wait() for _ in range(2)]
+        assert not any(e.triggered for e in events)
+        third = barrier.wait()
+        assert third.triggered
+        assert all(e.triggered for e in events)
+
+    def test_reusable_generations(self, sim):
+        barrier = KBarrier(sim, parties=2)
+        a1, a2 = barrier.wait(), barrier.wait()
+        b1, b2 = barrier.wait(), barrier.wait()
+        sim.run()
+        assert a1.value == 1 and b1.value == 2
+
+    def test_invalid_parties(self, sim):
+        with pytest.raises(ValueError):
+            KBarrier(sim, parties=0)
+
+
+class TestSensor:
+    def test_polling_read(self, sim, node):
+        sensor = Sensor(node, "temp", signal=lambda t: t // 1000)
+        sim.call_in(5_000, lambda: None)
+        sim.run()
+        assert sensor.read() == 5
+        assert sensor.samples_taken == 1
+
+    def test_autonomous_sampling_fires_interrupts(self, sim, node):
+        sensor = Sensor(node, "gyro", signal=lambda t: t, period=1_000)
+        samples = []
+        sensor.on_sample(lambda value: samples.append(value))
+        sensor.start()
+        sim.run(until=4_500)
+        assert len(samples) == 5  # t = 0, 1000, 2000, 3000, 4000
+        assert samples[2] == 2_000
+
+    def test_stop_ends_sampling(self, sim, node):
+        sensor = Sensor(node, "s", signal=lambda t: 0, period=1_000)
+        sensor.start()
+        sim.call_at(2_500, sensor.stop)
+        sim.run(until=10_000)
+        assert sensor.samples_taken == 3
+
+    def test_start_without_period_rejected(self, sim, node):
+        sensor = Sensor(node, "s", signal=lambda t: 0)
+        with pytest.raises(ValueError):
+            sensor.start()
+
+    def test_crashed_node_stops_sampling(self, sim, node):
+        sensor = Sensor(node, "s", signal=lambda t: 0, period=1_000)
+        sensor.start()
+        sim.call_at(1_500, node.crash)
+        sim.run(until=10_000)
+        assert sensor.samples_taken == 2
+
+
+class TestActuator:
+    def test_records_commands(self, sim, node):
+        actuator = Actuator(node, "elevator")
+        sim.call_at(100, lambda: actuator.actuate(1.5))
+        sim.call_at(300, lambda: actuator.actuate(-0.5))
+        sim.run()
+        assert actuator.commands == [(100, 1.5), (300, -0.5)]
+        assert actuator.last() == (300, -0.5)
+
+    def test_jitter_of_regular_commands_is_zero(self, sim, node):
+        actuator = Actuator(node, "a")
+        for k in range(5):
+            sim.call_at(k * 100, lambda: actuator.actuate(0))
+        sim.run()
+        assert actuator.jitter() == 0
+
+    def test_jitter_of_irregular_commands(self, sim, node):
+        actuator = Actuator(node, "a")
+        for when in (0, 100, 350):
+            sim.call_at(when, lambda: actuator.actuate(0))
+        sim.run()
+        assert actuator.jitter() == 150
+
+
+class TestInterruptTriggeredActivation:
+    def test_sensor_interrupt_activates_task(self):
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        node = system.nodes["n0"]
+        sensor = Sensor(node, "radar", signal=lambda t: t, period=2_000)
+        handled = []
+        reaction = Task("react", deadline=1_000, node_id="n0")
+        reaction.code_eu("process", wcet=100,
+                         action=lambda ctx: handled.append(ctx.now))
+        system.dispatcher.activate_on_interrupt(sensor.irq, reaction)
+        sensor.start()
+        system.run(until=7_000)
+        # Samples at 0, 2000, 4000, 6000 -> 4 activations.
+        assert len(handled) == 4
+        instances = system.dispatcher.instances_of("react")
+        assert all(i.state is InstanceState.DONE for i in instances)
+        # Activation happens after the IRQ handler's WCET (20).
+        assert instances[0].activation_time == sensor.irq.wcet
+
+    def test_sporadic_law_monitoring_applies_to_interrupt_activations(self):
+        from repro.core import Sporadic
+        from repro.core.monitoring import ViolationKind
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        node = system.nodes["n0"]
+        # A bursty sensor violating the task's declared sporadic law.
+        sensor = Sensor(node, "bursty", signal=lambda t: t, period=500,
+                        irq_wcet=5)
+        reaction = Task("react", deadline=400, arrival=Sporadic(2_000),
+                        node_id="n0")
+        reaction.code_eu("process", wcet=50)
+        system.dispatcher.activate_on_interrupt(sensor.irq, reaction)
+        sensor.start()
+        system.run(until=3_000)
+        assert system.monitor.count(ViolationKind.ARRIVAL_LAW) >= 1

@@ -1,0 +1,145 @@
+"""Tests for the activation watchdog and replica-divergence detection."""
+
+import pytest
+
+from repro.core import DispatcherCosts, Periodic, Sporadic, Task
+from repro.core.monitoring import ViolationKind
+from repro.kernel import Node, Sensor
+from repro.network import Network
+from repro.services import ActiveReplication
+from repro.services.watchdog import ActivationWatchdog
+from repro.sim import Simulator, Tracer
+from repro.system import HadesSystem
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("node_ids", ["n0"])
+    kwargs.setdefault("costs", DispatcherCosts.zero())
+    return HadesSystem(**kwargs)
+
+
+class TestActivationWatchdog:
+    def test_healthy_periodic_task_never_reported(self):
+        system = make_system()
+        task = Task("steady", deadline=500, arrival=Periodic(period=1_000),
+                    node_id="n0")
+        task.code_eu("eu", wcet=50)
+        watchdog = ActivationWatchdog(system.dispatcher, margin=200)
+        watchdog.watch(task)
+        system.register_periodic(task, count=20)
+        system.run(until=20_000)
+        assert watchdog.overdue_reports == 0
+
+    def test_stopped_source_reported_as_overdue(self):
+        system = make_system()
+        task = Task("dying", deadline=500, arrival=Periodic(period=1_000),
+                    node_id="n0")
+        task.code_eu("eu", wcet=50)
+        watchdog = ActivationWatchdog(system.dispatcher, margin=200)
+        watchdog.watch(task)
+        system.register_periodic(task, count=5)  # stops after t=4000
+        system.run(until=20_000)
+        assert watchdog.overdue_reports >= 1
+        overdue = [v for v in system.monitor.of_kind(
+            ViolationKind.ARRIVAL_LAW)
+            if v.details.get("reason") == "overdue"]
+        assert overdue
+        assert overdue[0].task == "dying"
+        # First report lands shortly after the silence exceeds the gap.
+        assert overdue[0].time <= 4_000 + 1_200 + 700
+
+    def test_reports_repeat_while_silent(self):
+        system = make_system()
+        task = Task("silent", deadline=500, arrival=Periodic(period=1_000),
+                    node_id="n0")
+        task.code_eu("eu", wcet=50)
+        watchdog = ActivationWatchdog(system.dispatcher, margin=0)
+        watchdog.watch(task)
+        system.run(until=10_000)
+        assert watchdog.overdue_reports >= 5  # ~ one per period
+
+    def test_dead_sensor_scenario(self):
+        """Interrupt-activated task: the watchdog notices when the
+        sensor dies (the activation source the dispatcher itself cannot
+        see disappearing)."""
+        system = make_system()
+        node = system.nodes["n0"]
+        sensor = Sensor(node, "flow", signal=lambda t: t, period=2_000)
+        reaction = Task("react", deadline=1_000,
+                        arrival=Sporadic(pseudo_period=1_500),
+                        node_id="n0")
+        reaction.code_eu("eu", wcet=100)
+        system.dispatcher.activate_on_interrupt(sensor.irq, reaction)
+        watchdog = ActivationWatchdog(system.dispatcher, margin=500)
+        watchdog.watch(reaction)
+        sensor.start()
+        system.sim.call_at(10_000, sensor.stop)
+        system.run(until=30_000)
+        assert watchdog.overdue_reports >= 1
+        first_overdue = min(v.time for v in system.monitor.of_kind(
+            ViolationKind.ARRIVAL_LAW)
+            if v.details.get("reason") == "overdue")
+        assert first_overdue > 10_000
+
+    def test_unwatch_stops_reports(self):
+        system = make_system()
+        task = Task("gone", deadline=500, arrival=Periodic(period=1_000),
+                    node_id="n0")
+        task.code_eu("eu", wcet=50)
+        watchdog = ActivationWatchdog(system.dispatcher, margin=0)
+        watchdog.watch(task)
+        watchdog.unwatch("gone")
+        system.run(until=10_000)
+        assert watchdog.overdue_reports == 0
+
+    def test_aperiodic_task_rejected(self):
+        system = make_system()
+        task = Task("anytime", node_id="n0")
+        task.code_eu("eu", wcet=10)
+        watchdog = ActivationWatchdog(system.dispatcher)
+        with pytest.raises(ValueError):
+            watchdog.watch(task)
+
+
+class TestDivergenceDetection:
+    def build(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        net = Network(sim, tracer, base_latency=100)
+        for node_id in ("client", "r1", "r2", "r3"):
+            net.add_node(Node(sim, node_id, tracer=tracer))
+        net.connect_all()
+        return sim, net, ActiveReplication(net, "client",
+                                           ["r1", "r2", "r3"])
+
+    def test_no_divergence_with_healthy_replicas(self):
+        sim, net, svc = self.build()
+        svc.submit(("set", "x", 1))
+        sim.run()
+        assert svc.divergences == []
+        assert svc.suspected_value_failures == {}
+
+    def test_coherent_value_failure_identified(self):
+        sim, net, svc = self.build()
+        svc.replicas[1].corrupt = lambda value: "garbage"
+        for index in range(4):
+            sim.call_at(index * 5_000, lambda: svc.submit(("add", "x", 1)))
+        sim.run()
+        assert svc.suspected_value_failures.get("r2", 0) >= 3
+        assert all(d["dissenters"] == ["r2"] for d in svc.divergences)
+
+    def test_divergence_recorded_in_trace(self):
+        sim, net, svc = self.build()
+        svc.replicas[0].corrupt = lambda value: -1
+        svc.submit(("set", "x", 5))
+        sim.run()
+        assert net.tracer.count("service", "value_failure_detected") >= 1
+
+    def test_majority_still_wins(self):
+        sim, net, svc = self.build()
+        svc.replicas[2].corrupt = lambda value: None
+        result = svc.submit(("set", "x", 9))
+        sim.run()
+        value, votes = result.value
+        assert value == 9
+        assert votes >= 2

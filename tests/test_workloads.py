@@ -1,0 +1,160 @@
+"""Tests for synthetic workload generation and HEUG translation."""
+
+import random
+
+import pytest
+
+from repro.core import AccessMode, Resource
+from repro.core.attributes import Periodic, Sporadic
+from repro.feasibility import SpuriTask, utilization
+from repro.workloads import (
+    harmonic_taskset,
+    periodic_to_heug,
+    random_periodic_taskset,
+    random_spuri_taskset,
+    spuri_to_heug,
+    uunifast,
+)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = random.Random(1)
+        values = uunifast(8, 0.75, rng)
+        assert len(values) == 8
+        assert sum(values) == pytest.approx(0.75)
+
+    def test_all_positive(self):
+        rng = random.Random(2)
+        assert all(u > 0 for u in uunifast(20, 0.9, rng))
+
+    def test_single_task_gets_everything(self):
+        rng = random.Random(3)
+        assert uunifast(1, 0.5, rng) == [0.5]
+
+    def test_validation(self):
+        rng = random.Random(4)
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            uunifast(3, 1.5, rng)
+
+    def test_deterministic_per_seed(self):
+        assert uunifast(5, 0.6, random.Random(9)) == \
+            uunifast(5, 0.6, random.Random(9))
+
+
+class TestRandomTasksets:
+    def test_periodic_utilization_close_to_target(self):
+        tasks = random_periodic_taskset(10, 0.7, seed=1)
+        # Integer rounding loses a little; stay within 10%.
+        assert utilization(tasks) == pytest.approx(0.7, abs=0.07)
+
+    def test_periodic_implicit_deadlines(self):
+        tasks = random_periodic_taskset(5, 0.5, seed=2)
+        assert all(t.deadline == t.period for t in tasks)
+
+    def test_periodic_constrained_deadlines(self):
+        tasks = random_periodic_taskset(5, 0.5, seed=2,
+                                        implicit_deadline=False)
+        assert all(t.deadline <= t.period for t in tasks)
+        assert all(t.deadline >= t.wcet for t in tasks)
+
+    def test_spuri_taskset_structure(self):
+        tasks = random_spuri_taskset(12, 0.6, seed=3)
+        assert len(tasks) == 12
+        for task in tasks:
+            assert task.wcet == task.c_before + task.cs + task.c_after
+            if task.resource is not None:
+                assert task.cs > 0
+            else:
+                assert task.cs == 0
+
+    def test_spuri_resource_names_bounded(self):
+        tasks = random_spuri_taskset(30, 0.6, seed=4, n_resources=2,
+                                     resource_probability=1.0)
+        names = {task.resource for task in tasks}
+        assert names <= {"R0", "R1"}
+
+    def test_deterministic(self):
+        a = random_spuri_taskset(6, 0.5, seed=7)
+        b = random_spuri_taskset(6, 0.5, seed=7)
+        assert [(t.name, t.wcet, t.deadline) for t in a] == \
+            [(t.name, t.wcet, t.deadline) for t in b]
+
+
+class TestHarmonic:
+    def test_periods_divide_each_other(self):
+        tasks = harmonic_taskset(4, 0.9, seed=1)
+        periods = [t.period for t in tasks]
+        for small, big in zip(periods, periods[1:]):
+            assert big % small == 0
+
+    def test_too_many_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_taskset(12, 0.9, seed=1, multipliers=(2, 2))
+
+
+class TestTranslation:
+    def test_figure3_with_resource(self):
+        task = SpuriTask("t", c_before=10, cs=20, c_after=5, deadline=500,
+                         pseudo_period=500, resource="S")
+        resources = {}
+        heug = spuri_to_heug(task, "n0", resources, latest_blocking=77)
+        assert len(heug.code_eus()) == 3
+        assert len(heug.edges) == 2
+        names = [eu.name for eu in heug.topological_order()]
+        assert names == ["eu1", "eu2", "eu3"]
+        eu2 = heug.eus[1]
+        assert eu2.wcet == 20
+        assert eu2.resources[0][0] is resources["S"]
+        assert eu2.resources[0][1] is AccessMode.EXCLUSIVE
+        assert eu2.attrs.latest == 77
+        assert isinstance(heug.arrival, Sporadic)
+        assert heug.deadline == 500
+
+    def test_figure3_without_resource_single_unit(self):
+        task = SpuriTask("t", c_before=35, cs=0, c_after=0, deadline=100,
+                         pseudo_period=100)
+        heug = spuri_to_heug(task, "n0", {})
+        assert len(heug.code_eus()) == 1
+        assert heug.code_eus()[0].wcet == 35
+
+    def test_resource_objects_shared_across_tasks(self):
+        resources = {}
+        t1 = SpuriTask("t1", 1, 5, 1, 100, 100, resource="S")
+        t2 = SpuriTask("t2", 1, 5, 1, 100, 100, resource="S")
+        h1 = spuri_to_heug(t1, "n0", resources)
+        h2 = spuri_to_heug(t2, "n0", resources)
+        assert h1.eus[1].resources[0][0] is h2.eus[1].resources[0][0]
+
+    def test_actual_fraction_scales_execution(self):
+        task = SpuriTask("t", c_before=100, cs=0, c_after=0, deadline=500,
+                         pseudo_period=500)
+        heug = spuri_to_heug(task, "n0", {}, actual_fraction=0.5)
+        eu = heug.code_eus()[0]
+        assert eu.resolve_actual({}) == 50
+        with pytest.raises(ValueError):
+            spuri_to_heug(task, "n0", {}, actual_fraction=0.0)
+
+    def test_periodic_translation(self):
+        from repro.feasibility import AnalysisTask
+        atask = AnalysisTask("p", wcet=40, deadline=100, period=100)
+        heug = periodic_to_heug(atask, "n1")
+        assert isinstance(heug.arrival, Periodic)
+        assert heug.node_id == "n1"
+        assert heug.total_wcet() == 40
+
+    def test_translated_heug_executes(self):
+        from repro.core.dispatcher import InstanceState
+        from repro.system import HadesSystem
+        from repro.core import DispatcherCosts
+
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        task = SpuriTask("t", c_before=10, cs=20, c_after=5, deadline=500,
+                         pseudo_period=500, resource="S")
+        heug = spuri_to_heug(task, "n0", {})
+        instance = system.activate(heug)
+        system.run()
+        assert instance.state is InstanceState.DONE
+        assert instance.response_time == 35
