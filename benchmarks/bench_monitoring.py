@@ -158,7 +158,7 @@ def test_monitoring_detection_campaign(benchmark):
 
     def scenario(seed):
         system = HadesSystem(node_ids=node_ids,
-                             costs=DispatcherCosts.zero())
+                             costs=DispatcherCosts.zero(), metrics=True)
         pipeline = Task("pipe", deadline=100_000,
                         arrival=Periodic(period=50_000), node_id="a")
         src = pipeline.code_eu("src", wcet=100)
@@ -193,23 +193,40 @@ def test_monitoring_detection_campaign(benchmark):
                                   for c in crashed),
             "observable_loss": observed_drops > 0,
             "loss_detected": omission_hits > 0,
+            "report": system.run_report(seed=seed),
         }
 
     campaign = Campaign(scenario, seeds=range(12))
     result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
     observable = [r for r in result.per_run if r["observable_loss"]]
+    merged = result.aggregate()
     rows = [
         ("runs", result.runs),
         ("crash detection rate", f"{result.fraction('crash_detected'):.0%}"),
         ("runs with observable link loss", len(observable)),
         ("...of which loss was detected",
          sum(r["loss_detected"] for r in observable)),
+        ("messages sent (all runs)",
+         merged.counter("network.messages_sent")),
+        ("messages dropped", merged.counter("network.messages_dropped")),
+        ("mean delivery latency (us)",
+         f"{merged.histograms['network.latency'].mean():.0f}"),
+        ("omission violations",
+         merged.counter("violations.network_omission")),
+        ("mean violations/run", f"{result.counter_mean('violations.total'):.1f}"),
     ]
     print_table("E9b — detection coverage over random fault campaigns",
                 ["metric", "value"], rows)
     assert result.fraction("crash_detected") == 1.0
     for run in observable:
         assert run["loss_detected"], run
+    # The campaign is RunReport-backed: structured counters aggregate
+    # across seeds and agree with the per-run monitor observations.
+    assert len(result.reports) == result.runs
+    assert merged.counter("network.messages_dropped") > 0
+    assert merged.counter("violations.network_omission") == sum(
+        run["report"].counter("violations.network_omission")
+        for run in result.per_run)
 
 
 def test_monitoring_coverage(benchmark):

@@ -9,6 +9,8 @@ table reports per-category CPU shares and the model/observation
 reconciliation (which must be exact — the §4 premise).
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import print_table
@@ -28,10 +30,11 @@ SETTINGS = {
 HORIZON = 400_000
 
 
-def run_setting(costs):
+def run_setting(costs, metrics=False):
     system = HadesSystem(node_ids=["fcc"], costs=costs,
                          context_switch_cost=2,
-                         background_activities=True)
+                         background_activities=True,
+                         metrics=metrics)
     system.attach_scheduler(EDFScheduler(scope="fcc", w_sched=2))
     tasks = avionics_taskset(2, 0.55, seed=7)
     for atask in tasks:
@@ -40,7 +43,7 @@ def run_setting(costs):
     system.run(until=HORIZON)
     report = overhead_report(system)
     misses = system.monitor.count(ViolationKind.DEADLINE_MISS)
-    return report, misses
+    return report, misses, system
 
 
 def test_overhead_scaling(benchmark):
@@ -49,7 +52,7 @@ def test_overhead_scaling(benchmark):
                  for name, costs in SETTINGS.items()},
         rounds=1, iterations=1)
     rows = []
-    for name, (report, misses) in results.items():
+    for name, (report, misses, _system) in results.items():
         totals = report["totals"]
         rows.append((name,
                      totals.get("application", 0),
@@ -62,7 +65,7 @@ def test_overhead_scaling(benchmark):
     print_table("E14 — middleware CPU overhead on the avionics workload",
                 ["costs", "app (us)", "dispatcher", "scheduler", "kernel",
                  "overhead", "model==observed", "misses"], rows)
-    for name, (report, misses) in results.items():
+    for name, (report, misses, _system) in results.items():
         assert report["consistent"], name  # the §4 premise, exactly
         assert misses == 0, name
     zero = results["zero"][0]["overhead_fraction"]
@@ -72,3 +75,41 @@ def test_overhead_scaling(benchmark):
     # At the default constants the middleware stays under 10% —
     # the "cheap" claim of §1 quantified for this workload.
     assert default < 0.10
+
+
+def test_metrics_registry_overhead(benchmark):
+    """Acceptance criterion for the observability layer: running with
+    the MetricsRegistry enabled must cost < 10% wall clock over the
+    disabled (null-object) default on the same workload."""
+
+    def timed_once(metrics):
+        start = time.perf_counter()
+        _report, _misses, system = run_setting(DispatcherCosts(),
+                                               metrics=metrics)
+        return time.perf_counter() - start, system
+
+    def measure(repeat=5):
+        # Interleave the two settings so machine noise (CI neighbours,
+        # thermal state) hits both sides equally; keep the best of each.
+        t_off = t_on = float("inf")
+        system = None
+        for _ in range(repeat):
+            t_off = min(t_off, timed_once(False)[0])
+            once, system = timed_once(True)
+            t_on = min(t_on, once)
+        return t_off, t_on, system
+
+    t_off, t_on, system = benchmark.pedantic(measure, rounds=1,
+                                             iterations=1)
+    report = system.run_report()
+    print_table(
+        "E14b — metrics-enabled vs disabled wall clock",
+        ["setting", "best of 5 (s)", "events fired", "dispatches",
+         "violations"],
+        [("disabled", f"{t_off:.3f}", "-", "-", "-"),
+         ("enabled", f"{t_on:.3f}",
+          report.counter("engine.events_fired"),
+          report.counter("cpu.dispatches"),
+          report.counter("violations.total"))])
+    assert report.counter("engine.events_fired") > 0
+    assert t_on < t_off * 1.10, (t_on, t_off)

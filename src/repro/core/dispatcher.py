@@ -251,12 +251,16 @@ class Dispatcher:
                  monitor: Optional[ExecutionMonitor] = None,
                  on_deadline_miss: str = "record",
                  abort_mode: str = "kill",
-                 omission_margin: int = 10):
+                 omission_margin: int = 10,
+                 metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         if on_deadline_miss not in ("record", "abort"):
             raise ValueError(f"bad on_deadline_miss {on_deadline_miss!r}")
         if abort_mode not in ("kill", "lazy"):
             raise ValueError(f"bad abort_mode {abort_mode!r}")
         self.sim = sim
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.network = network
         self.costs = costs if costs is not None else DispatcherCosts()
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
@@ -276,10 +280,29 @@ class Dispatcher:
         self._resource_waiters: Dict[Resource, List[EUInstance]] = {}
         self._gated: List[EUInstance] = []
         self.completed_instances = 0
+        self._m_activations = self.metrics.counter("dispatcher.activations")
+        self._m_thread_starts = self.metrics.counter(
+            "dispatcher.thread_starts")
+        self._m_priority_changes = self.metrics.counter(
+            "dispatcher.priority_changes")
+        self._m_eu_completions = self.metrics.counter(
+            "dispatcher.eu_completions")
+        self._m_instances_done = self.metrics.counter(
+            "dispatcher.instances_completed")
+        self._m_instances_aborted = self.metrics.counter(
+            "dispatcher.instances_aborted")
+        self._m_violations = self.metrics.counter("violations.total")
+        if self.metrics.enabled:
+            # Violations are rare; a per-kind registry lookup is fine.
+            self.monitor.subscribe(self._count_violation)
         if network is not None:
             for interface in network.interfaces.values():
                 interface.on_receive(self._on_remote_edge_message,
                                      kind="heug-edge")
+
+    def _count_violation(self, violation) -> None:
+        self._m_violations.inc()
+        self.metrics.counter(f"violations.{violation.kind.value}").inc()
 
     # -- topology ----------------------------------------------------------
 
@@ -326,6 +349,7 @@ class Dispatcher:
         self._instances[instance.key] = instance
         self.tracer.record("dispatcher", "activate", task=task.name, seq=seq,
                            deadline=instance.abs_deadline)
+        self._m_activations.inc()
 
         if instance.abs_deadline is not None:
             # Check one microsecond past the deadline so that completing
@@ -426,6 +450,8 @@ class Dispatcher:
         release a not-yet-started unit.
         """
         if priority is not None:
+            if priority != eui.priority:
+                self._m_priority_changes.inc()
             eui.priority = priority
         if preemption_threshold is not None:
             eui.preemption_threshold = preemption_threshold
@@ -599,6 +625,7 @@ class Dispatcher:
         self.tracer.record("dispatcher", "thread_start",
                            eu=eui.qualified_name, node=eui.node_id,
                            priority=eui.priority)
+        self._m_thread_starts.inc()
 
     def _eu_body(self, eui: EUInstance):
         """The kernel-thread body executing one Code_EU instance."""
@@ -684,6 +711,7 @@ class Dispatcher:
         self._release_resources(eui)
         self._notify(NotificationKind.TRM, eui)
         self.tracer.record("dispatcher", "eu_done", eu=eui.qualified_name)
+        self._m_eu_completions.inc()
         self._propagate(eui, context)
         self._count_down(eui.instance)
 
@@ -888,6 +916,7 @@ class Dispatcher:
         self.tracer.record("dispatcher", "instance_done",
                            task=instance.task.name, seq=instance.seq,
                            response=instance.response_time)
+        self._m_instances_done.inc()
         if not instance.done_event.triggered:
             instance.done_event.succeed("done")
 
@@ -899,6 +928,7 @@ class Dispatcher:
         self.tracer.record("dispatcher", "instance_abort",
                            task=instance.task.name, seq=instance.seq,
                            reason=reason)
+        self._m_instances_aborted.inc()
         for eui in instance.eu_instances.values():
             if eui.state in (EUState.DONE, EUState.ABORTED):
                 continue

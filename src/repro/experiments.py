@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "E12": "bench_end_to_end.py",
     "E13": "bench_end_to_end_analysis.py",
     "E14": "bench_overhead.py",
+    "E15": "bench_observability.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

@@ -1,17 +1,24 @@
 """Fault-injection campaigns: many seeded runs, aggregated metrics.
 
 A campaign runs a user-supplied *scenario* once per seed.  The scenario
-builds a system, applies a fault plan, runs it, and returns a metric
-dict.  The campaign aggregates across seeds — the shape used by the
-monitoring-coverage benchmark (experiment E9).
+builds a system, applies a fault plan, runs it, and returns either a
+metric dict, a :class:`~repro.obs.RunReport`, or a dict containing a
+``RunReport`` among its values.  The campaign aggregates across seeds —
+the shape used by the monitoring-coverage benchmark (experiment E9).
+
+Structured reports beat ad-hoc dicts for two reasons: every run exposes
+the same counter namespace (no missing-key guessing), and histograms
+merge bucket-wise instead of collapsing to a single mean-of-means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-Scenario = Callable[[int], Dict[str, Any]]
+from repro.obs.metrics import RunReport, aggregate_reports
+
+Scenario = Callable[[int], Union[Dict[str, Any], RunReport]]
 
 
 @dataclass
@@ -20,9 +27,12 @@ class CampaignResult:
 
     runs: int
     per_run: List[Dict[str, Any]] = field(default_factory=list)
+    #: Structured per-run metric snapshots, in seed order (one entry per
+    #: run whose scenario produced a :class:`RunReport`).
+    reports: List[RunReport] = field(default_factory=list)
 
     def mean(self, key: str) -> float:
-        """Mean of a metric across runs."""
+        """Mean of a metric across runs (0.0 with no matching runs)."""
         values = [run[key] for run in self.per_run if key in run]
         return sum(values) / len(values) if values else 0.0
 
@@ -41,6 +51,25 @@ class CampaignResult:
             return 0.0
         return sum(1 for run in self.per_run if run.get(key)) / len(self.per_run)
 
+    def aggregate(self) -> Optional[RunReport]:
+        """One campaign-level :class:`RunReport` merging every run's
+        report: counters summed, histograms merged bucket-wise, gauges
+        averaged (mean of values, max of maxima).  None when no run
+        produced a report."""
+        if not self.reports:
+            return None
+        return aggregate_reports(self.reports)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one report counter across runs (0 with no reports)."""
+        return sum(report.counter(name) for report in self.reports)
+
+    def counter_mean(self, name: str) -> float:
+        """Mean of one report counter across runs (0.0 with no reports)."""
+        if not self.reports:
+            return 0.0
+        return self.counter_total(name) / len(self.reports)
+
 
 class Campaign:
     """Run a scenario across seeds."""
@@ -50,10 +79,29 @@ class Campaign:
         self.seeds = list(seeds)
 
     def run(self) -> CampaignResult:
-        """Execute the scenario once per seed; returns the aggregate."""
+        """Execute the scenario once per seed; returns the aggregate.
+
+        A scenario returning a bare :class:`RunReport` contributes its
+        flattened metrics as that run's dict; a scenario returning a
+        dict may embed a ``RunReport`` under any key — it is collected
+        into :attr:`CampaignResult.reports` and its flattened metrics
+        back-fill keys the dict does not set explicitly.
+        """
         result = CampaignResult(runs=len(self.seeds))
         for seed in self.seeds:
-            metrics = self.scenario(seed)
+            outcome = self.scenario(seed)
+            if isinstance(outcome, RunReport):
+                report: Optional[RunReport] = outcome
+                metrics: Dict[str, Any] = dict(outcome.flat())
+            else:
+                metrics = outcome
+                report = next((value for value in metrics.values()
+                               if isinstance(value, RunReport)), None)
+                if report is not None:
+                    for key, value in report.flat().items():
+                        metrics.setdefault(key, value)
             metrics.setdefault("seed", seed)
             result.per_run.append(metrics)
+            if report is not None:
+                result.reports.append(report)
         return result

@@ -26,11 +26,18 @@ class Cpu:
     """One processor: schedules submitted threads preemptively."""
 
     def __init__(self, sim: Simulator, tracer: Tracer, node_id: str,
-                 context_switch_cost: int = 0):
+                 context_switch_cost: int = 0, metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         self.sim = sim
         self.tracer = tracer
         self.node_id = node_id
         self.context_switch_cost = int(context_switch_cost)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_dispatches = self.metrics.counter("cpu.dispatches")
+        self._m_preemptions = self.metrics.counter("cpu.preemptions")
+        self._m_context_switches = self.metrics.counter(
+            "cpu.context_switches")
         self._ready: List["KThread"] = []
         self._running: Optional["KThread"] = None
         self._last_dispatched: Optional["KThread"] = None
@@ -123,6 +130,7 @@ class Cpu:
                 self._ready.append(preempted)
                 self.tracer.record("cpu", "preempt", node=self.node_id,
                                    thread=preempted.name, by=challenger.name)
+                self._m_preemptions.inc()
             else:
                 return
         nxt = self._top_ready()
@@ -138,10 +146,13 @@ class Cpu:
         thread._pt_boosted = True
         thread._set_state(ThreadState.RUNNING)
         overhead = 0
-        if self.context_switch_cost and thread is not self._last_dispatched:
-            overhead = self.context_switch_cost
-            self._account("kernel", overhead)
+        if thread is not self._last_dispatched:
+            self._m_context_switches.inc()
+            if self.context_switch_cost:
+                overhead = self.context_switch_cost
+                self._account("kernel", overhead)
         self._last_dispatched = thread
+        self._m_dispatches.inc()
         self._progress_start = self.sim.now + overhead
         self._completion_token += 1
         token = self._completion_token

@@ -38,14 +38,16 @@ class Node:
                  clock_tick_period: int = DEFAULT_CLOCK_TICK_PERIOD,
                  clock_tick_wcet: int = DEFAULT_CLOCK_TICK_WCET,
                  net_irq_wcet: int = DEFAULT_NET_IRQ_WCET,
-                 net_irq_pseudo_period: int = DEFAULT_NET_IRQ_PSEUDO_PERIOD):
+                 net_irq_pseudo_period: int = DEFAULT_NET_IRQ_PSEUDO_PERIOD,
+                 metrics=None):
         self.sim = sim
         self.node_id = node_id
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
         if self.tracer._clock is None:
             self.tracer.bind_clock(lambda: sim.now)
         self.clock = clock if clock is not None else HardwareClock(sim)
-        self.cpu = Cpu(sim, self.tracer, node_id, context_switch_cost)
+        self.cpu = Cpu(sim, self.tracer, node_id, context_switch_cost,
+                       metrics=metrics)
         self.crashed = False
         self._threads: List[KThread] = []
         self._crash_listeners: List[Callable[["Node"], None]] = []

@@ -114,7 +114,10 @@ class Link:
     def __init__(self, sim: Simulator, tracer: Tracer, src: str, dst: str,
                  base_latency: int = 50, size_cost_per_byte: int = 0,
                  jitter_bound: int = 0,
-                 rng: Optional[random.Random] = None, fifo: bool = True):
+                 rng: Optional[random.Random] = None, fifo: bool = True,
+                 metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         if base_latency < 0 or jitter_bound < 0 or size_cost_per_byte < 0:
             raise ValueError("latency parameters must be >= 0")
         if jitter_bound > 0 and rng is None:
@@ -133,6 +136,11 @@ class Link:
         self._last_delivery = 0
         self.stats = {outcome: 0 for outcome in DeliveryOutcome}
         self._on_deliver: Optional[Callable[[Message], None]] = None
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_sent = self.metrics.counter("network.messages_sent")
+        self._m_delivered = self.metrics.counter("network.messages_delivered")
+        self._m_dropped = self.metrics.counter("network.messages_dropped")
+        self._h_latency = self.metrics.histogram("network.latency")
 
     def guaranteed_bound(self, size: int) -> int:
         """Worst-case correct transfer delay for a ``size``-byte message."""
@@ -159,8 +167,10 @@ class Link:
         time, as on a real network.
         """
         message.send_time = self.sim.now
+        self._m_sent.inc()
         if not self.up:
             self.stats[DeliveryOutcome.DROPPED] += 1
+            self._m_dropped.inc()
             self.tracer.record("network", "drop", link=f"{self.src}->{self.dst}",
                                msg=message.msg_id, reason="link_down")
             return DeliveryOutcome.DROPPED
@@ -170,6 +180,7 @@ class Link:
             drop, delay = fault.apply(message)
             if drop:
                 self.stats[DeliveryOutcome.DROPPED] += 1
+                self._m_dropped.inc()
                 self.tracer.record("network", "drop",
                                    link=f"{self.src}->{self.dst}",
                                    msg=message.msg_id, reason="omission")
@@ -195,6 +206,8 @@ class Link:
             self.stats[DeliveryOutcome.DST_CRASHED] += 1
             return
         self.stats[outcome] += 1
+        self._m_delivered.inc()
+        self._h_latency.observe(message.latency)
         self.tracer.record("network", "deliver",
                            link=f"{self.src}->{self.dst}",
                            msg=message.msg_id, kind=message.kind,

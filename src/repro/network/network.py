@@ -24,11 +24,15 @@ class Network:
 
     def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None,
                  base_latency: int = 50, size_cost_per_byte: int = 0,
-                 jitter_bound: int = 0, seed: int = 0):
+                 jitter_bound: int = 0, seed: int = 0, metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         self.sim = sim
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
         if self.tracer._clock is None:
             self.tracer.bind_clock(lambda: sim.now)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_no_route = self.metrics.counter("network.no_route")
         self.base_latency = base_latency
         self.size_cost_per_byte = size_cost_per_byte
         self.jitter_bound = jitter_bound
@@ -68,7 +72,8 @@ class Network:
         link = Link(self.sim, self.tracer, src, dst,
                     base_latency=self.base_latency,
                     size_cost_per_byte=self.size_cost_per_byte,
-                    jitter_bound=self.jitter_bound, rng=rng)
+                    jitter_bound=self.jitter_bound, rng=rng,
+                    metrics=self.metrics)
         self.links[(src, dst)] = link
         return link
 
@@ -95,6 +100,7 @@ class Network:
         link = self.links.get(key)
         if link is None:
             self.lost_no_route += 1
+            self._m_no_route.inc()
             self.tracer.record("network", "no_route", src=message.src,
                                dst=message.dst, msg=message.msg_id)
             return

@@ -1,0 +1,41 @@
+"""Observability: metrics registry, run reports, trace tooling.
+
+This package is the middleware's measurement layer — the hooks a COTS
+real-time system needs before any performance claim can be checked.
+Subsystems cache metric objects from a shared :class:`MetricsRegistry`
+and update them on their hot paths; disabled (the default) the updates
+hit shared no-op objects and cost one method call.
+
+Tracing itself lives in :mod:`repro.sim.trace` (it predates this
+package); the classes are re-exported here so observability consumers
+have a single import point.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    RunReport,
+    aggregate_reports,
+)
+from repro.sim.trace import JsonlStream, Tracer, TraceRecord, load_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "RunReport",
+    "aggregate_reports",
+    "JsonlStream",
+    "Tracer",
+    "TraceRecord",
+    "load_trace",
+]

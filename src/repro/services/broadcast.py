@@ -45,6 +45,11 @@ class ReliableBroadcast:
         self.broadcast_count = 0
         self.delivered_count = 0
         self.relayed_count = 0
+        self._m_broadcasts = network.metrics.counter(
+            "services.rbcast_broadcasts")
+        self._m_deliveries = network.metrics.counter(
+            "services.rbcast_deliveries")
+        self._m_relays = network.metrics.counter("services.rbcast_relays")
         #: With reliable_links, every copy travels over an acknowledged
         #: retransmitting channel: agreement then tolerates arbitrary
         #: probabilistic loss with bounded omission runs (the channel's
@@ -95,6 +100,7 @@ class ReliableBroadcast:
         seq = next(self._counter)
         ident = (self.node_id, seq)
         self.broadcast_count += 1
+        self._m_broadcasts.inc()
         body = {"origin": self.node_id, "seq": seq, "payload": payload,
                 "members": members, "relayed": False}
         # Local delivery first (validity holds even if all links die).
@@ -131,11 +137,13 @@ class ReliableBroadcast:
                 if member not in (self.node_id, body["origin"]):
                     self._transmit(member, relayed, size)
                     self.relayed_count += 1
+                    self._m_relays.inc()
         self._accept(ident, body)
 
     def _accept(self, ident: Tuple[str, int], body: Dict) -> None:
         self._seen.add(ident)
         self.delivered_count += 1
+        self._m_deliveries.inc()
         self.network.tracer.record("service", "rbcast_deliver",
                                    node=self.node_id, origin=body["origin"],
                                    seq=body["seq"])

@@ -54,6 +54,9 @@ class ClockSyncService:
         self.reading_cost = reading_cost
         self.rounds_completed = 0
         self.last_correction = 0
+        self._m_rounds = network.metrics.counter("services.clocksync_rounds")
+        self._h_correction = network.metrics.histogram(
+            "services.clocksync_correction")
         self._pending: Optional[Dict[str, int]] = None
         self._round_done = None
         interface = network.interfaces[node.node_id]
@@ -126,6 +129,8 @@ class ClockSyncService:
         self.last_correction = correction
         self.node.clock.adjust(correction)
         self.rounds_completed += 1
+        self._m_rounds.inc()
+        self._h_correction.observe(abs(correction))
         self.node.tracer.record("service", "clocksync_round",
                                 node=self.node.node_id,
                                 correction=correction,

@@ -341,6 +341,7 @@ class PassiveReplication:
         if not survivors:
             return
         self.failover_count += 1
+        self.network.metrics.counter("services.replication_failovers").inc()
         self._crash_time = (self._crash_time
                             if self._crash_time is not None else time)
         self.primary = survivors[0]
@@ -484,6 +485,7 @@ class SemiActiveReplication:
         if not survivors:
             return
         self.failover_count += 1
+        self.network.metrics.counter("services.replication_failovers").inc()
         self._crash_time = (self._crash_time
                             if self._crash_time is not None else time)
         # Most-advanced follower becomes leader: every other survivor's

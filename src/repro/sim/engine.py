@@ -313,13 +313,24 @@ class Process(Event):
 
 
 class Simulator:
-    """Owner of virtual time and the pending-event schedule."""
+    """Owner of virtual time and the pending-event schedule.
 
-    def __init__(self):
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) enables engine
+    instrumentation: events scheduled/fired counters and a heap-depth
+    gauge.  Left at None the updates hit shared no-op metric objects.
+    """
+
+    def __init__(self, metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         self.now: int = 0
         self._heap: List[Tuple[int, int, Event]] = []
         self._sequence = 0
         self._uncaught: List[BaseException] = []
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_scheduled = self.metrics.counter("engine.events_scheduled")
+        self._m_fired = self.metrics.counter("engine.events_fired")
+        self._m_heap_depth = self.metrics.gauge("engine.heap_depth")
 
     # -- event factories ------------------------------------------------
 
@@ -348,6 +359,8 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        self._m_scheduled.inc()
+        self._m_heap_depth.set(len(self._heap))
 
     def call_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute simulated ``time`` (>= now)."""
@@ -379,6 +392,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = time
+        self._m_fired.inc()
         event._dispatch()
         return True
 

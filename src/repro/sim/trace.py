@@ -5,12 +5,38 @@ Every HADES subsystem records what it does through a shared
 and the invariant checks in the test suite: rather than trusting the
 dispatcher's own bookkeeping, tests replay the trace and verify the
 paper's runnable/running rules against it.
+
+The tracer scales to long runs three ways:
+
+* **Bounded ring buffer** — ``Tracer(maxlen=...)`` keeps only the most
+  recent records (post-mortem tail), dropping the oldest; ``dropped``
+  counts evictions.
+* **Per-(category, event) indexes** — :meth:`select` and :meth:`count`
+  are O(matching records), not O(trace length).  The index is built
+  lazily on the first category query and maintained incrementally
+  afterwards, so record-heavy runs that never query pay nothing.
+* **Streaming JSONL export** — :meth:`stream_jsonl` writes records to
+  disk as they are emitted, so a bounded tracer still produces a
+  complete on-disk trace.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from itertools import islice
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 
 @dataclass(frozen=True)
@@ -33,13 +59,99 @@ class TraceRecord:
         return f"[{self.time:>10d}] {self.category}/{self.event} {payload}"
 
 
+def _jsonable(value: Any) -> Any:
+    """Map a detail value to a JSON-faithful equivalent.
+
+    int/float/bool/str/None pass through; lists/tuples and dicts recurse
+    (tuples become lists — JSON has no tuple); anything else is
+    stringified *explicitly* here, not silently by ``json.dumps``, so a
+    saved trace reloads with the same typed values it was saved with.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, bool):  # bool subclasses handled before int
+        return bool(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def _record_to_json(entry: TraceRecord) -> str:
+    return json.dumps({
+        "time": entry.time,
+        "category": entry.category,
+        "event": entry.event,
+        "details": {key: _jsonable(value)
+                    for key, value in entry.details.items()},
+    })
+
+
+class JsonlStream:
+    """Streams records to a JSON-lines file as they are emitted.
+
+    Created by :meth:`Tracer.stream_jsonl`; usable as a context manager.
+    Closing detaches the stream from the tracer and closes the file.
+    """
+
+    def __init__(self, tracer: "Tracer", path: str):
+        self.tracer = tracer
+        self.path = path
+        self.written = 0
+        self._handle: Optional[IO[str]] = open(path, "w")
+        tracer.subscribe(self._on_record)
+
+    def _on_record(self, entry: TraceRecord) -> None:
+        if self._handle is not None:
+            self._handle.write(_record_to_json(entry))
+            self._handle.write("\n")
+            self.written += 1
+
+    def close(self) -> None:
+        """Stop streaming and close the underlying file (idempotent)."""
+        if self._handle is None:
+            return
+        self.tracer.unsubscribe(self._on_record)
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "JsonlStream":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
 class Tracer:
     """Collects :class:`TraceRecord` instances in emission order."""
 
-    def __init__(self, clock: Optional[Callable[[], int]] = None):
-        self._records: List[TraceRecord] = []
+    def __init__(self, clock: Optional[Callable[[], int]] = None,
+                 maxlen: Optional[int] = None, index: bool = True):
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self._records: Any = (deque(maxlen=maxlen) if maxlen is not None
+                              else [])
+        self.maxlen = maxlen
         self._clock = clock
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        #: Records evicted by the ring buffer so far.
+        self.dropped = 0
+        self._seq = 0          # sequence number of the next record
+        self._first_seq = 0    # sequence number of the oldest kept record
+        self._index_enabled = index
+        # Lazily built:  (category, event) -> deque[(seq, record)] and
+        # category -> deque[(seq, record)].  Entries older than
+        # ``_first_seq`` are pruned lazily on access.
+        self._by_cat_event: Optional[Dict[Tuple[str, str],
+                                          Deque[Tuple[int, TraceRecord]]]] = None
+        self._by_cat: Optional[Dict[str, Deque[Tuple[int, TraceRecord]]]] = None
 
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Attach the time source used when ``record`` omits a time."""
@@ -49,6 +161,13 @@ class Tracer:
         """Invoke ``listener`` synchronously for every new record."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def record(self, category: str, event: str, time: Optional[int] = None,
                **details: Any) -> TraceRecord:
         """Append a record; time defaults to the bound clock's now."""
@@ -57,7 +176,16 @@ class Tracer:
                 raise RuntimeError("tracer has no bound clock")
             time = self._clock()
         entry = TraceRecord(time, category, event, details)
+        if self.maxlen is not None and len(self._records) == self.maxlen:
+            self.dropped += 1
+            self._first_seq += 1
         self._records.append(entry)
+        seq = self._seq
+        self._seq += 1
+        if self._by_cat_event is not None:
+            self._by_cat_event.setdefault((category, event),
+                                          deque()).append((seq, entry))
+            self._by_cat.setdefault(category, deque()).append((seq, entry))
         for listener in self._listeners:
             listener(entry)
         return entry
@@ -73,10 +201,52 @@ class Tracer:
         """All records in emission order (immutable view)."""
         return tuple(self._records)
 
+    # -- indexed queries ----------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        if self._by_cat_event is not None:
+            return
+        self._by_cat_event = {}
+        self._by_cat = {}
+        seq = self._first_seq
+        for entry in self._records:
+            self._by_cat_event.setdefault((entry.category, entry.event),
+                                          deque()).append((seq, entry))
+            self._by_cat.setdefault(entry.category, deque()).append(
+                (seq, entry))
+            seq += 1
+
+    def _bucket(self, category: str,
+                event: Optional[str]) -> Deque[Tuple[int, TraceRecord]]:
+        self._ensure_index()
+        if event is not None:
+            bucket = self._by_cat_event.get((category, event))
+        else:
+            bucket = self._by_cat.get(category)
+        if bucket is None:
+            return deque()
+        # Drop entries the ring buffer has already evicted.
+        first = self._first_seq
+        while bucket and bucket[0][0] < first:
+            bucket.popleft()
+        return bucket
+
     def select(self, category: Optional[str] = None,
                event: Optional[str] = None,
                **details: Any) -> List[TraceRecord]:
-        """Records matching the given category/event/detail filters."""
+        """Records matching the given category/event/detail filters.
+
+        With a ``category`` filter this runs over the per-(category,
+        event) index — O(matching records); other shapes fall back to a
+        linear scan.
+        """
+        if category is not None and self._index_enabled:
+            bucket = self._bucket(category, event)
+            if not details:
+                return [entry for _seq, entry in bucket]
+            return [entry for _seq, entry in bucket
+                    if all(entry.details.get(k) == v
+                           for k, v in details.items())]
         found = []
         for entry in self._records:
             if category is not None and entry.category != category:
@@ -91,39 +261,50 @@ class Tracer:
     def count(self, category: Optional[str] = None,
               event: Optional[str] = None, **details: Any) -> int:
         """Current number of matching items."""
+        if (category is not None and self._index_enabled and not details):
+            return len(self._bucket(category, event))
         return len(self.select(category, event, **details))
+
+    # -- rendering & export -------------------------------------------------
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable rendering of (the head of) the trace."""
-        rows = self._records if limit is None else self._records[:limit]
+        rows = (self._records if limit is None
+                else islice(self._records, limit))
         return "\n".join(str(entry) for entry in rows)
 
     def to_jsonl(self, path: str) -> int:
-        """Write the trace as JSON lines; returns the record count.
+        """Write the currently held records as JSON lines; returns the
+        record count.
 
-        The format round-trips through :func:`load_trace`, so post-
-        mortem analysis (schedule reconstruction, violation counting)
-        can run on saved traces from earlier experiments.
+        The format round-trips through :func:`load_trace` type-faithfully
+        for int/float/bool/str/list/dict detail values (tuples load as
+        lists; other objects are stringified at write time).  A bounded
+        tracer writes only what the ring buffer still holds — use
+        :meth:`stream_jsonl` for a complete trace of a bounded run.
         """
-        import json
-
+        written = 0
         with open(path, "w") as handle:
             for entry in self._records:
-                handle.write(json.dumps({
-                    "time": entry.time,
-                    "category": entry.category,
-                    "event": entry.event,
-                    "details": entry.details,
-                }, default=str))
+                handle.write(_record_to_json(entry))
                 handle.write("\n")
-        return len(self._records)
+                written += 1
+        return written
+
+    def stream_jsonl(self, path: str) -> JsonlStream:
+        """Stream every future record to ``path`` as JSON lines.
+
+        Returns the :class:`JsonlStream` handle (a context manager);
+        records already held are **not** written — open the stream
+        before running the scenario.
+        """
+        return JsonlStream(self, path)
 
 
-def load_trace(path: str) -> "Tracer":
-    """Load a trace previously saved with :meth:`Tracer.to_jsonl`."""
-    import json
-
-    tracer = Tracer(clock=lambda: 0)
+def load_trace(path: str, maxlen: Optional[int] = None) -> "Tracer":
+    """Load a trace previously saved with :meth:`Tracer.to_jsonl` or
+    :meth:`Tracer.stream_jsonl`."""
+    tracer = Tracer(clock=lambda: 0, maxlen=maxlen)
     with open(path) as handle:
         for line in handle:
             line = line.strip()

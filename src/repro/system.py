@@ -23,6 +23,7 @@ from repro.core.tnetwork import install_tnetwork
 from repro.kernel.clocks import HardwareClock
 from repro.kernel.node import Node
 from repro.network.network import Network
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, RunReport
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -41,20 +42,29 @@ class HadesSystem:
                  background_activities: bool = False,
                  on_deadline_miss: str = "record",
                  abort_mode: str = "kill",
-                 node_kwargs: Optional[Dict[str, Any]] = None):
-        self.sim = Simulator()
-        self.tracer = Tracer(lambda: self.sim.now)
+                 node_kwargs: Optional[Dict[str, Any]] = None,
+                 metrics: Any = None,
+                 trace_maxlen: Optional[int] = None):
+        # ``metrics`` accepts a MetricsRegistry, True (create one), or
+        # None/False (disabled — the near-zero-cost default).
+        if metrics is True:
+            metrics = MetricsRegistry()
+        self.metrics = metrics if metrics else NULL_METRICS
+        self.sim = Simulator(metrics=self.metrics)
+        self.tracer = Tracer(lambda: self.sim.now, maxlen=trace_maxlen)
         self.monitor = ExecutionMonitor()
         self.network = Network(self.sim, self.tracer,
                                base_latency=network_latency,
-                               jitter_bound=network_jitter, seed=seed)
+                               jitter_bound=network_jitter, seed=seed,
+                               metrics=self.metrics)
         self.nodes: Dict[str, Node] = {}
         drifts = clock_drifts or {}
         extra = node_kwargs or {}
         for node_id in node_ids:
             clock = HardwareClock(self.sim, drift=drifts.get(node_id, 0.0))
             node = Node(self.sim, node_id, tracer=self.tracer, clock=clock,
-                        context_switch_cost=context_switch_cost, **extra)
+                        context_switch_cost=context_switch_cost,
+                        metrics=self.metrics, **extra)
             self.nodes[node_id] = node
             self.network.add_node(node)
             if background_activities:
@@ -64,7 +74,8 @@ class HadesSystem:
                                      costs=costs, tracer=self.tracer,
                                      monitor=self.monitor,
                                      on_deadline_miss=on_deadline_miss,
-                                     abort_mode=abort_mode)
+                                     abort_mode=abort_mode,
+                                     metrics=self.metrics)
         for node in self.nodes.values():
             self.dispatcher.register_node(node)
         if with_tnetwork:
@@ -93,6 +104,17 @@ class HadesSystem:
     def run(self, until: Optional[int] = None) -> None:
         """Advance simulated time (to ``until``, or until idle)."""
         self.sim.run(until=until)
+
+    def run_report(self, **meta: Any) -> RunReport:
+        """Snapshot this deployment's metrics as a structured report.
+
+        Includes ``sim_time`` and ``trace_records`` in the report meta.
+        With metrics disabled (the default) the report is empty except
+        for the meta — campaigns can aggregate it either way.
+        """
+        meta.setdefault("sim_time", self.sim.now)
+        meta.setdefault("trace_records", len(self.tracer))
+        return self.metrics.snapshot(**meta)
 
     # -- §4.2 characterisation of the deployed substrate ---------------------
 

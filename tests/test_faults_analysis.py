@@ -13,6 +13,7 @@ from repro.analysis.traces import busy_fraction, thread_time
 from repro.core import DispatcherCosts, Task
 from repro.core.monitoring import ViolationKind
 from repro.faults import Campaign, FaultEvent, FaultKind, FaultPlan, random_plan
+from repro.obs import MetricsRegistry
 from repro.system import HadesSystem
 
 
@@ -158,6 +159,88 @@ class TestCampaign:
 
         result = Campaign(scenario, seeds=[1, 2]).run()
         assert result.total("misses") == 2
+
+
+class TestCampaignEdgeCases:
+    def test_empty_campaign(self):
+        result = Campaign(lambda seed: {"x": 1}, seeds=[]).run()
+        assert result.runs == 0
+        assert result.per_run == []
+        assert result.mean("x") == 0.0
+        assert result.total("x") == 0
+        assert result.maximum("x") == 0.0
+        assert result.fraction("x") == 0.0
+        assert result.aggregate() is None
+        assert result.counter_total("x") == 0
+        assert result.counter_mean("x") == 0.0
+
+    def test_metric_present_in_only_some_runs(self):
+        def scenario(seed):
+            return {"rare": seed} if seed % 2 else {"other": 1}
+
+        result = Campaign(scenario, seeds=range(4)).run()
+        # mean/maximum average over the runs that HAVE the key...
+        assert result.mean("rare") == 2.0  # (1 + 3) / 2
+        assert result.maximum("rare") == 3
+        # ...while total/fraction treat absence as zero/falsy.
+        assert result.total("rare") == 4
+        assert result.fraction("rare") == 0.5
+
+    def test_mean_with_zero_matching_runs(self):
+        result = Campaign(lambda seed: {"x": 1}, seeds=range(3)).run()
+        assert result.mean("missing") == 0.0
+        assert result.maximum("missing") == 0.0
+        assert result.fraction("missing") == 0.0
+
+    def test_seed_recorded_but_not_clobbered(self):
+        result = Campaign(lambda seed: {"x": seed}, seeds=[5, 9]).run()
+        assert [run["seed"] for run in result.per_run] == [5, 9]
+        custom = Campaign(lambda seed: {"seed": 1234},
+                          seeds=[5]).run()
+        assert custom.per_run[0]["seed"] == 1234
+
+    def test_scenario_returning_bare_run_report(self):
+        def scenario(seed):
+            registry = MetricsRegistry()
+            registry.counter("drops").inc(seed)
+            return registry.snapshot(seed=seed)
+
+        result = Campaign(scenario, seeds=[1, 2, 3]).run()
+        assert len(result.reports) == 3
+        assert result.counter_total("drops") == 6
+        assert result.counter_mean("drops") == 2.0
+        assert result.total("drops") == 6  # flattened into per-run dicts
+        merged = result.aggregate()
+        assert merged.counter("drops") == 6
+        assert merged.meta["runs"] == 3
+
+    def test_dict_with_embedded_report_backfills_metrics(self):
+        def scenario(seed):
+            registry = MetricsRegistry()
+            registry.counter("a").inc(10)
+            registry.counter("b").inc(1)
+            # Explicit keys win over the report's flattened metrics.
+            return {"a": 99, "report": registry.snapshot()}
+
+        result = Campaign(scenario, seeds=[0, 1]).run()
+        assert all(run["a"] == 99 for run in result.per_run)
+        assert all(run["b"] == 1 for run in result.per_run)
+        assert result.counter_total("a") == 20  # reports keep raw values
+        assert result.aggregate().counter("b") == 2
+
+    def test_runs_without_reports_do_not_break_aggregation(self):
+        def scenario(seed):
+            if seed == 0:
+                return {"plain": 1}
+            registry = MetricsRegistry()
+            registry.counter("c").inc(5)
+            return {"report": registry.snapshot()}
+
+        result = Campaign(scenario, seeds=[0, 1]).run()
+        assert result.runs == 2
+        assert len(result.reports) == 1
+        assert result.aggregate().counter("c") == 5
+        assert result.counter_mean("c") == 5.0
 
 
 class TestCalibration:
