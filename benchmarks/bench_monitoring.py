@@ -12,6 +12,7 @@ Coverage must be 5/5 (plus orphans), with zero false positives on a
 fault-free control run.
 """
 
+import os
 import random
 
 import pytest
@@ -21,12 +22,25 @@ from repro.core import (
     ConditionVariable,
     DispatcherCosts,
     EUAttributes,
+    Periodic,
     Sporadic,
     Task,
 )
 from repro.core.monitoring import DeadlockDetector, ViolationKind
+from repro.experiments import JOBS_ENV
+from repro.faults import Campaign, random_plan
 from repro.network import OmissionFault
+from repro.services import HeartbeatDetector
 from repro.system import HadesSystem
+
+
+def campaign_jobs() -> int:
+    """Worker count for campaign-style benchmarks (1 = serial).
+
+    Set by ``python -m repro.experiments E9 --jobs N`` through the
+    environment so it survives the pytest subprocess boundary.
+    """
+    return max(1, int(os.environ.get(JOBS_ENV, "1")))
 
 
 def scenario_deadline_miss():
@@ -141,6 +155,56 @@ SCENARIOS = [
 ]
 
 
+E9B_NODE_IDS = ["a", "b", "c"]
+
+
+def e9b_scenario(seed):
+    """One E9b run: random crash + lossy link against a 3-node pipeline.
+
+    Module-level (not a closure) so it pickles by reference and the
+    campaign can fan out across worker processes (``--jobs``).
+    """
+    node_ids = E9B_NODE_IDS
+    system = HadesSystem(node_ids=node_ids,
+                         costs=DispatcherCosts.zero(), metrics=True)
+    pipeline = Task("pipe", deadline=100_000,
+                    arrival=Periodic(period=50_000), node_id="a")
+    src = pipeline.code_eu("src", wcet=100)
+    dst = pipeline.code_eu("dst", wcet=100, node_id="b")
+    pipeline.precede(src, dst)
+    system.register_periodic(pipeline, count=10)
+    for node_id in node_ids:
+        HeartbeatDetector.start_heartbeats(system.network, node_id,
+                                           ["a"], 10_000)
+    detector = HeartbeatDetector(system.network, "a", node_ids,
+                                 heartbeat_period=10_000)
+    detector.start()
+    plan = random_plan(node_ids, horizon=400_000, seed=seed,
+                       crash_count=1, omission_links=1,
+                       spare_nodes=["a"])
+    if seed % 2 == 0:
+        # Half the campaign targets the observed edge directly, so
+        # the loss-detection dimension is well exercised.
+        plan.link_omission(0, "a", "b", probability=0.5)
+    plan.apply(system)
+    system.run(until=600_000)
+    crashed = [e.target for e in plan.applied
+               if e.kind.value == "node_crash"]
+    omission_hits = system.monitor.count(
+        ViolationKind.NETWORK_OMISSION)
+    # Detection is owed only when loss actually hit the pipeline's
+    # own a->b edge (the remote precedence being observed).
+    observed_drops = sum(f.dropped for f in
+                         system.network.link("a", "b").faults)
+    return {
+        "crash_detected": all(c in detector.suspected
+                              for c in crashed),
+        "observable_loss": observed_drops > 0,
+        "loss_detected": omission_hits > 0,
+        "report": system.run_report(seed=seed),
+    }
+
+
 def test_monitoring_detection_campaign(benchmark):
     """E9b — statistical coverage: random fault campaigns across seeds.
 
@@ -150,54 +214,10 @@ def test_monitoring_detection_campaign(benchmark):
     (remote-precedence omission monitoring), and that fault-free
     control runs stay silent.
     """
-    from repro.core import Periodic
-    from repro.faults import Campaign, random_plan
-    from repro.services import HeartbeatDetector
-
-    node_ids = ["a", "b", "c"]
-
-    def scenario(seed):
-        system = HadesSystem(node_ids=node_ids,
-                             costs=DispatcherCosts.zero(), metrics=True)
-        pipeline = Task("pipe", deadline=100_000,
-                        arrival=Periodic(period=50_000), node_id="a")
-        src = pipeline.code_eu("src", wcet=100)
-        dst = pipeline.code_eu("dst", wcet=100, node_id="b")
-        pipeline.precede(src, dst)
-        system.register_periodic(pipeline, count=10)
-        for node_id in node_ids:
-            HeartbeatDetector.start_heartbeats(system.network, node_id,
-                                               ["a"], 10_000)
-        detector = HeartbeatDetector(system.network, "a", node_ids,
-                                     heartbeat_period=10_000)
-        detector.start()
-        plan = random_plan(node_ids, horizon=400_000, seed=seed,
-                           crash_count=1, omission_links=1,
-                           spare_nodes=["a"])
-        if seed % 2 == 0:
-            # Half the campaign targets the observed edge directly, so
-            # the loss-detection dimension is well exercised.
-            plan.link_omission(0, "a", "b", probability=0.5)
-        plan.apply(system)
-        system.run(until=600_000)
-        crashed = [e.target for e in plan.applied
-                   if e.kind.value == "node_crash"]
-        omission_hits = system.monitor.count(
-            ViolationKind.NETWORK_OMISSION)
-        # Detection is owed only when loss actually hit the pipeline's
-        # own a->b edge (the remote precedence being observed).
-        observed_drops = sum(f.dropped for f in
-                             system.network.link("a", "b").faults)
-        return {
-            "crash_detected": all(c in detector.suspected
-                                  for c in crashed),
-            "observable_loss": observed_drops > 0,
-            "loss_detected": omission_hits > 0,
-            "report": system.run_report(seed=seed),
-        }
-
-    campaign = Campaign(scenario, seeds=range(12))
-    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    campaign = Campaign(e9b_scenario, seeds=range(12))
+    jobs = campaign_jobs()
+    result = benchmark.pedantic(campaign.run, kwargs={"jobs": jobs},
+                                rounds=1, iterations=1)
     observable = [r for r in result.per_run if r["observable_loss"]]
     merged = result.aggregate()
     rows = [

@@ -10,15 +10,24 @@ Usage::
 
     python -m repro.experiments              # everything
     python -m repro.experiments E4 E11       # only selected experiments
+    python -m repro.experiments E9 --jobs 4  # parallel fault campaigns
     python -m repro.experiments --list       # what is available
+
+``--jobs N`` fans campaign-style experiments (E9/E9b, the parallel
+campaign benchmark) out to N worker processes; results are merged in
+seed order and are identical to a serial run.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 from typing import List, Optional
+
+#: Environment variable carrying ``--jobs`` into the benchmark processes.
+JOBS_ENV = "REPRO_CAMPAIGN_JOBS"
 
 #: Experiment id -> benchmark file (kept in sync with DESIGN.md §4).
 EXPERIMENTS = {
@@ -40,6 +49,7 @@ EXPERIMENTS = {
     "E13": "bench_end_to_end_analysis.py",
     "E14": "bench_overhead.py",
     "E15": "bench_observability.py",
+    "E16": "bench_parallel_campaign.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",
@@ -72,6 +82,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:>5}  {filename}")
         return 0
 
+    jobs: Optional[int] = None
+    if "--jobs" in argv:
+        position = argv.index("--jobs")
+        try:
+            jobs = int(argv[position + 1])
+        except (IndexError, ValueError):
+            print("error: --jobs requires an integer argument",
+                  file=sys.stderr)
+            return 2
+        if jobs < 1:
+            print("error: --jobs must be >= 1", file=sys.stderr)
+            return 2
+        del argv[position:position + 2]
+
     benchmarks = find_benchmarks_dir()
     if benchmarks is None:
         print("error: benchmarks/ not found — the experiment harness "
@@ -93,8 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     command = [sys.executable, "-m", "pytest", *targets,
                "--benchmark-only", "-s", "-q"]
+    env = dict(os.environ)
+    if jobs is not None:
+        env[JOBS_ENV] = str(jobs)
     print("+", " ".join(command))
-    return subprocess.call(command, cwd=str(benchmarks.parent))
+    return subprocess.call(command, cwd=str(benchmarks.parent), env=env)
 
 
 if __name__ == "__main__":

@@ -10,10 +10,14 @@ This package turns those into injectable, reproducible *fault plans*:
   fault events applied to a :class:`~repro.system.HadesSystem`,
 * :func:`~repro.faults.plan.random_plan` — seeded random campaigns,
 * :class:`~repro.faults.campaign.Campaign` — run a scenario function
-  across many seeds/plans and aggregate detection & survival metrics.
+  across many seeds/plans and aggregate detection & survival metrics,
+* :func:`~repro.faults.parallel.run_parallel` — the same campaign
+  fanned out over a process pool (``Campaign.run(jobs=N)``), merged
+  deterministically in seed order.
 """
 
 from repro.faults.campaign import Campaign, CampaignResult
+from repro.faults.parallel import CampaignTimeoutError, run_parallel
 from repro.faults.plan import (
     FaultEvent,
     FaultKind,
@@ -24,8 +28,10 @@ from repro.faults.plan import (
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CampaignTimeoutError",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "random_plan",
+    "run_parallel",
 ]

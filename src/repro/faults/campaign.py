@@ -14,11 +14,37 @@ merge bucket-wise instead of collapsing to a single mean-of-means.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.metrics import RunReport, aggregate_reports
 
 Scenario = Callable[[int], Union[Dict[str, Any], RunReport]]
+
+
+def normalise_outcome(outcome: Union[Dict[str, Any], RunReport],
+                      seed: int) -> Tuple[Dict[str, Any],
+                                          Optional[RunReport]]:
+    """Turn one scenario outcome into ``(metrics, report)``.
+
+    A bare :class:`RunReport` contributes its flattened metrics as the
+    run dict; a dict may embed a ``RunReport`` under any key — the
+    first one found (in insertion order) becomes the run's report and
+    its flattened metrics back-fill keys the dict does not set.  Shared
+    by the serial and parallel executors so both produce identical
+    per-run dicts.
+    """
+    if isinstance(outcome, RunReport):
+        report: Optional[RunReport] = outcome
+        metrics: Dict[str, Any] = dict(outcome.flat())
+    else:
+        metrics = outcome
+        report = next((value for value in metrics.values()
+                       if isinstance(value, RunReport)), None)
+        if report is not None:
+            for key, value in report.flat().items():
+                metrics.setdefault(key, value)
+    metrics.setdefault("seed", seed)
+    return metrics, report
 
 
 @dataclass
@@ -32,18 +58,33 @@ class CampaignResult:
     reports: List[RunReport] = field(default_factory=list)
 
     def mean(self, key: str) -> float:
-        """Mean of a metric across runs (0.0 with no matching runs)."""
+        """Mean of a metric across runs (0.0 with no matching runs).
+
+        Like every per-key statistic here, runs that do not record
+        ``key`` are *skipped*, not treated as zero — so ``mean(k) ==
+        total(k) / present(k)`` always holds, while ``total(k) / runs``
+        does not when some run lacks ``k``.
+        """
         values = [run[key] for run in self.per_run if key in run]
         return sum(values) / len(values) if values else 0.0
 
     def total(self, key: str) -> float:
-        """Sum of a metric across runs."""
-        return sum(run.get(key, 0) for run in self.per_run)
+        """Sum of a metric across the runs that record it.
+
+        Runs lacking ``key`` are skipped (same rule as :meth:`mean` and
+        :meth:`maximum`), keeping ``total(k) == mean(k) * present(k)``.
+        """
+        return sum(run[key] for run in self.per_run if key in run)
 
     def maximum(self, key: str) -> float:
-        """Maximum of a metric across runs."""
+        """Maximum of a metric across runs (skips runs lacking the key)."""
         values = [run[key] for run in self.per_run if key in run]
         return max(values) if values else 0.0
+
+    def present(self, key: str) -> int:
+        """Number of runs that record ``key`` — the denominator of
+        :meth:`mean`."""
+        return sum(1 for run in self.per_run if key in run)
 
     def fraction(self, key: str) -> float:
         """Fraction of runs where ``key`` is truthy."""
@@ -78,7 +119,11 @@ class Campaign:
         self.scenario = scenario
         self.seeds = list(seeds)
 
-    def run(self) -> CampaignResult:
+    def run(self, jobs: Optional[int] = None, *,
+            timeout: Optional[float] = None,
+            retries: int = 1,
+            chunk_size: Optional[int] = None,
+            on_timeout: str = "record") -> CampaignResult:
         """Execute the scenario once per seed; returns the aggregate.
 
         A scenario returning a bare :class:`RunReport` contributes its
@@ -86,21 +131,23 @@ class Campaign:
         dict may embed a ``RunReport`` under any key — it is collected
         into :attr:`CampaignResult.reports` and its flattened metrics
         back-fill keys the dict does not set explicitly.
+
+        With ``jobs`` > 1 the seeds fan out to a process pool (see
+        :mod:`repro.faults.parallel`); results merge back in seed order
+        so the :class:`CampaignResult` is identical to the serial path.
+        ``timeout`` (seconds, wall-clock, per seed), ``retries``,
+        ``chunk_size`` and ``on_timeout`` tune the parallel executor
+        and are ignored when running serially.
         """
+        if jobs is not None and jobs > 1:
+            from repro.faults.parallel import run_parallel
+            return run_parallel(self.scenario, self.seeds, jobs=jobs,
+                                timeout=timeout, retries=retries,
+                                chunk_size=chunk_size,
+                                on_timeout=on_timeout)
         result = CampaignResult(runs=len(self.seeds))
         for seed in self.seeds:
-            outcome = self.scenario(seed)
-            if isinstance(outcome, RunReport):
-                report: Optional[RunReport] = outcome
-                metrics: Dict[str, Any] = dict(outcome.flat())
-            else:
-                metrics = outcome
-                report = next((value for value in metrics.values()
-                               if isinstance(value, RunReport)), None)
-                if report is not None:
-                    for key, value in report.flat().items():
-                        metrics.setdefault(key, value)
-            metrics.setdefault("seed", seed)
+            metrics, report = normalise_outcome(self.scenario(seed), seed)
             result.per_run.append(metrics)
             if report is not None:
                 result.reports.append(report)

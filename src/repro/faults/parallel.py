@@ -1,0 +1,325 @@
+"""Parallel deterministic fault campaigns over a process pool.
+
+Fault-injection campaigns are embarrassingly parallel: every seeded run
+is independent, deterministic, and communicates only through its final
+:class:`~repro.obs.metrics.RunReport` / metric dict.  This module fans
+the seeds of a :class:`~repro.faults.campaign.Campaign` out to ``jobs``
+worker processes (chunked over a ``ProcessPoolExecutor``), runs each
+scenario in an isolated interpreter, ships results back as plain dicts
+(``RunReport.to_dict()`` on the wire), and merges them **in seed
+order** — so the resulting :class:`CampaignResult` (``per_run``,
+``reports``, ``aggregate()``) is identical to what the serial path
+produces.
+
+Robustness shapes (the part that matters for long campaigns):
+
+* **Per-seed timeout** — a hung seed becomes a structured
+  ``{"seed": s, "campaign_error": ...}`` run instead of wedging the
+  pool; the stuck worker processes are killed and the pool is rebuilt
+  (``on_timeout="record"``, the default) or the campaign aborts with
+  :class:`CampaignTimeoutError` (``on_timeout="raise"``).
+* **Bounded retry on worker crash** — a chunk whose worker dies (e.g.
+  OOM-killed, ``os._exit``) is resubmitted once (``retries``); a second
+  crash records structured error runs for the chunk's seeds.
+* **Graceful fallback** — an unpicklable scenario (a closure, a lambda)
+  silently runs serially in-process; ``jobs <= 1`` likewise.
+* **Scenario exceptions** become structured error runs too (unlike the
+  serial path, which propagates), so one bad seed cannot kill a
+  10k-seed campaign.
+
+Timeouts are enforced per submission *wave*: at most ``jobs`` chunks
+are outstanding at a time, so every submitted chunk starts executing
+immediately and wall-clock-since-submit is a faithful bound on
+execution time.  With a timeout set, the default chunk size drops to 1
+so the kill granularity is a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.campaign import (
+    Campaign,
+    CampaignResult,
+    Scenario,
+    normalise_outcome,
+)
+from repro.obs.metrics import RunReport
+
+__all__ = ["CampaignTimeoutError", "run_parallel"]
+
+#: Wire tag marking a metric value that was a RunReport before pickling.
+_REPORT_TAG = "__runreport__"
+
+#: Slack added to every wave deadline, absorbing pool dispatch latency.
+_TIMEOUT_GRACE = 0.5
+
+
+class CampaignTimeoutError(RuntimeError):
+    """A seed exceeded the per-seed timeout under ``on_timeout="raise"``."""
+
+
+# --------------------------------------------------------------------------
+# Wire format: what crosses the process boundary
+# --------------------------------------------------------------------------
+
+def _encode_run(metrics: Dict[str, Any],
+                report: Optional[RunReport]) -> Dict[str, Any]:
+    """Flatten one normalised run into a picklable payload.
+
+    Metric-dict insertion order is preserved (a list of triples), and
+    every ``RunReport`` value is replaced by its ``to_dict()`` form so
+    the payload is plain data.  A *bare* report (one not embedded in
+    the metrics dict) travels separately under ``"report"``.
+    """
+    encoded: List[List[Any]] = []
+    embedded = False
+    for key, value in metrics.items():
+        if isinstance(value, RunReport):
+            encoded.append([key, _REPORT_TAG, value.to_dict()])
+            embedded = True
+        else:
+            encoded.append([key, None, value])
+    return {
+        "metrics": encoded,
+        "report": (None if report is None or embedded
+                   else report.to_dict()),
+    }
+
+
+def _decode_run(seed: int, payload: Dict[str, Any],
+                ) -> Tuple[Dict[str, Any], Optional[RunReport]]:
+    """Inverse of :func:`_encode_run`; also decodes worker error runs."""
+    if payload.get("error"):
+        return {"seed": seed, "campaign_error": payload["error"]}, None
+    metrics: Dict[str, Any] = {}
+    for key, tag, value in payload["metrics"]:
+        metrics[key] = (RunReport.from_dict(value) if tag == _REPORT_TAG
+                        else value)
+    # Same first-embedded-report rule as the serial normaliser, so the
+    # object collected into CampaignResult.reports is the one sitting
+    # in the per-run dict.
+    report = next((value for value in metrics.values()
+                   if isinstance(value, RunReport)), None)
+    if report is None and payload.get("report") is not None:
+        report = RunReport.from_dict(payload["report"])
+    return metrics, report
+
+
+def _run_chunk(scenario: Scenario,
+               seeds: Sequence[int]) -> List[Dict[str, Any]]:
+    """Worker entry point: run a contiguous chunk of seeds.
+
+    Must stay module-level (pickled by reference).  Scenario exceptions
+    are contained per seed so the rest of the chunk still completes.
+    """
+    payloads: List[Dict[str, Any]] = []
+    for seed in seeds:
+        try:
+            metrics, report = normalise_outcome(scenario(seed), seed)
+            payloads.append(_encode_run(metrics, report))
+        except Exception as exc:  # contained: becomes a structured run
+            payloads.append(
+                {"error": f"scenario raised {type(exc).__name__}: {exc}"})
+    return payloads
+
+
+# --------------------------------------------------------------------------
+# Pool lifecycle
+# --------------------------------------------------------------------------
+
+class _Pool:
+    """A ProcessPoolExecutor that can be hard-killed and rebuilt.
+
+    ``ProcessPoolExecutor`` has no per-task cancellation: once a worker
+    hangs, the only way to reclaim the slot is to terminate the worker
+    processes and start a fresh executor.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def get(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def kill(self) -> None:
+        """Terminate every worker process and discard the executor."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        # _processes is private but stable across CPython 3.8-3.13; a
+        # hung worker ignores graceful shutdown, so terminate directly.
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def shutdown(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------
+# The executor
+# --------------------------------------------------------------------------
+
+def _picklable(scenario: Scenario) -> bool:
+    try:
+        pickle.dumps(scenario)
+        return True
+    except Exception:
+        return False
+
+
+def run_parallel(scenario: Scenario, seeds: Sequence[int], jobs: int,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 chunk_size: Optional[int] = None,
+                 on_timeout: str = "record") -> CampaignResult:
+    """Run a campaign's seeds across ``jobs`` worker processes.
+
+    Returns a :class:`CampaignResult` identical to
+    ``Campaign(scenario, seeds).run()`` for deterministic scenarios —
+    per-run dicts in seed order, reports in seed order, byte-identical
+    ``aggregate().to_dict()``.
+
+    ``timeout`` is wall-clock seconds *per seed*; ``on_timeout`` is
+    ``"record"`` (kill the stuck workers, record a structured error
+    run, continue) or ``"raise"`` (abort with
+    :class:`CampaignTimeoutError`).  ``retries`` bounds resubmissions
+    of a chunk whose worker process crashed.  ``chunk_size`` defaults
+    to 1 when a timeout is set (per-seed kill granularity), else to
+    ``ceil(len(seeds) / (jobs * 4))`` for low dispatch overhead.
+    """
+    if on_timeout not in ("record", "raise"):
+        raise ValueError(f"unknown on_timeout policy {on_timeout!r}")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    seeds = list(seeds)
+    if jobs <= 1 or len(seeds) <= 1 or not _picklable(scenario):
+        # Graceful fallback: closures/lambdas cannot cross process
+        # boundaries; run in-process with identical semantics.
+        return Campaign(scenario, seeds).run()
+
+    if chunk_size is None:
+        chunk_size = (1 if timeout is not None
+                      else max(1, math.ceil(len(seeds) / (jobs * 4))))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = [seeds[i:i + chunk_size]
+              for i in range(0, len(seeds), chunk_size)]
+
+    # chunk index -> list of payloads, or an error string for the chunk.
+    outcomes: Dict[int, Any] = {}
+    pool = _Pool(jobs)
+    # Waves of `jobs` chunks make submit-to-completion a faithful bound
+    # on execution time (every submitted chunk starts immediately);
+    # without a timeout there is nothing to bound, so one wave of
+    # everything avoids the inter-wave barrier entirely.
+    wave_size = jobs if timeout is not None else len(chunks)
+    try:
+        for wave_start in range(0, len(chunks), wave_size):
+            wave = [(index, chunks[index], retries)
+                    for index in range(wave_start,
+                                       min(wave_start + wave_size,
+                                           len(chunks)))]
+            _run_wave(pool, scenario, wave, timeout, on_timeout, outcomes)
+    finally:
+        pool.shutdown()
+
+    result = CampaignResult(runs=len(seeds))
+    for index, chunk in enumerate(chunks):
+        outcome = outcomes[index]
+        if isinstance(outcome, str):  # whole-chunk failure
+            for seed in chunk:
+                result.per_run.append(
+                    {"seed": seed, "campaign_error": outcome})
+            continue
+        for seed, payload in zip(chunk, outcome):
+            metrics, report = _decode_run(seed, payload)
+            result.per_run.append(metrics)
+            if report is not None:
+                result.reports.append(report)
+    return result
+
+
+def _run_wave(pool: _Pool, scenario: Scenario,
+              wave: List[Tuple[int, List[int], int]],
+              timeout: Optional[float], on_timeout: str,
+              outcomes: Dict[int, Any]) -> None:
+    """Execute one wave of at most ``jobs`` chunks, with retries.
+
+    Every chunk in ``wave`` ends up with an entry in ``outcomes``:
+    either its payload list or a chunk-level error string.
+
+    Crash attribution: one dying worker breaks the whole pool, failing
+    every in-flight future, so a group failure cannot name the culprit.
+    Failed chunks are therefore re-run one at a time — a chunk that
+    crashes *alone* is the culprit and is charged one retry from its
+    budget; collateral victims succeed on their isolated re-run without
+    being charged.
+    """
+    group = list(wave)
+    isolated: List[Tuple[int, List[int], int]] = []
+    while group or isolated:
+        if group:
+            batch, group = group, []
+        else:
+            batch, isolated = isolated[:1], isolated[1:]
+        attributable = len(batch) == 1
+
+        executor = pool.get()
+        futures = {executor.submit(_run_chunk, scenario, chunk):
+                   (index, chunk, budget)
+                   for index, chunk, budget in batch}
+        wave_timeout = None
+        if timeout is not None:
+            wave_timeout = (timeout * max(len(chunk) for _, chunk, _
+                                          in batch) + _TIMEOUT_GRACE)
+        done, not_done = wait(futures, timeout=wave_timeout)
+
+        pool_dirty = bool(not_done)
+        for future in done:
+            index, chunk, budget = futures[future]
+            try:
+                outcomes[index] = future.result()
+                continue
+            except BrokenProcessPool as exc:
+                pool_dirty = True
+                if not attributable:
+                    # Possibly collateral damage: re-run alone, free.
+                    isolated.append((index, chunk, budget))
+                    continue
+                detail = f"worker crashed: {exc}" if str(exc) \
+                    else "worker crashed (BrokenProcessPool)"
+            except Exception as exc:  # e.g. result transport failure
+                pool_dirty = True
+                detail = f"worker failed ({type(exc).__name__}): {exc}"
+            if budget > 0:
+                isolated.append((index, chunk, budget - 1))
+            else:
+                outcomes[index] = detail
+        for future in not_done:
+            index, chunk, _budget = futures[future]
+            if on_timeout == "raise":
+                pool.kill()
+                raise CampaignTimeoutError(
+                    f"seeds {chunk} exceeded the per-seed timeout of "
+                    f"{timeout}s")
+            outcomes[index] = (f"timeout: exceeded {timeout}s per seed; "
+                               f"worker killed")
+        if pool_dirty:
+            # A hung or crashed worker poisons the executor; reclaim the
+            # processes and start clean for retries / the next wave.
+            pool.kill()

@@ -66,6 +66,11 @@ class NetworkInterface:
         else:
             self._kind_receivers.setdefault(kind, []).append(receiver)
 
+    def accepts_delivery(self) -> bool:
+        """Liveness probe consulted by the incoming link at delivery
+        time: a crashed node receives nothing (§2.1 crash semantics)."""
+        return not self.node.crashed
+
     def _deliver_from_link(self, message: Message) -> None:
         """Entry point called by the incoming link."""
         if self.node.crashed:

@@ -30,9 +30,9 @@ if TYPE_CHECKING:
 
 class DeliveryOutcome(enum.Enum):
     """Possible fates of a transmitted message."""
-    DELIVERED = "delivered"
+    DELIVERED = "delivered"      # arrived within the guaranteed bound
     DROPPED = "dropped"          # omission fault
-    LATE = "late"                # performance fault (delivered past bound)
+    LATE = "late"                # delivered past the guaranteed bound
     DST_CRASHED = "dst_crashed"  # receiver was down at delivery time
 
 
@@ -136,6 +136,7 @@ class Link:
         self._last_delivery = 0
         self.stats = {outcome: 0 for outcome in DeliveryOutcome}
         self._on_deliver: Optional[Callable[[Message], None]] = None
+        self._accepts: Optional[Callable[[], bool]] = None
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self._m_sent = self.metrics.counter("network.messages_sent")
         self._m_delivered = self.metrics.counter("network.messages_delivered")
@@ -155,16 +156,29 @@ class Link:
         """Remove every fault hook from this link."""
         self.faults.clear()
 
-    def connect(self, deliver: Callable[[Message], None]) -> None:
-        """Set the delivery callback (normally the dst NetworkInterface)."""
+    def connect(self, deliver: Callable[[Message], None],
+                accepts: Optional[Callable[[], bool]] = None) -> None:
+        """Set the delivery callback (normally the dst NetworkInterface).
+
+        ``accepts`` is an optional liveness probe consulted at delivery
+        time; returning False classifies the message as
+        :attr:`DeliveryOutcome.DST_CRASHED` instead of delivered.
+        """
         self._on_deliver = deliver
+        self._accepts = accepts
 
     def transmit(self, message: Message) -> DeliveryOutcome:
         """Send ``message``; returns the *planned* outcome.
 
-        The outcome is decided at send time (deterministically, from the
-        injected faults) but only observable to the receiver at delivery
-        time, as on a real network.
+        The outcome is computed at send time (deterministically, from
+        the injected faults and the already-known delivery instant) but
+        only observable to the receiver at delivery time, as on a real
+        network.  A message is LATE iff it reaches the receiver past
+        the guaranteed bound — ``deliver_time - send_time >
+        guaranteed_bound(size)`` — regardless of *why*: a fault delay
+        fully absorbed by jitter headroom stays DELIVERED, while FIFO
+        push-back behind a delayed predecessor counts as LATE.
+        Delivery exactly at the bound is on time.
         """
         message.send_time = self.sim.now
         self._m_sent.inc()
@@ -195,15 +209,22 @@ class Link:
             deliver_at = self._last_delivery
         self._last_delivery = deliver_at
 
-        outcome = (DeliveryOutcome.LATE if extra > 0
-                   else DeliveryOutcome.DELIVERED)
+        late = (deliver_at - message.send_time
+                > self.guaranteed_bound(message.size))
+        outcome = DeliveryOutcome.LATE if late else DeliveryOutcome.DELIVERED
         self.sim.call_at(deliver_at, lambda: self._deliver(message, outcome))
         return outcome
 
     def _deliver(self, message: Message, outcome: DeliveryOutcome) -> None:
         message.deliver_time = self.sim.now
-        if self._on_deliver is None:
+        if self._on_deliver is None or (self._accepts is not None
+                                        and not self._accepts()):
+            # No receiver wired, or the receiver is down at delivery
+            # time (crash semantics of §2.1): the message is lost.
             self.stats[DeliveryOutcome.DST_CRASHED] += 1
+            self.tracer.record("network", "dst_crashed",
+                               link=f"{self.src}->{self.dst}",
+                               msg=message.msg_id, kind=message.kind)
             return
         self.stats[outcome] += 1
         self._m_delivered.inc()

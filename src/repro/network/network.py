@@ -90,7 +90,8 @@ class Network:
         for (src, dst), link in self.links.items():
             interface = self.interfaces.get(dst)
             if interface is not None:
-                link.connect(interface._deliver_from_link)
+                link.connect(interface._deliver_from_link,
+                             accepts=interface.accepts_delivery)
 
     # -- routing ------------------------------------------------------------
 
@@ -107,7 +108,8 @@ class Network:
         if link._on_deliver is None:
             interface = self.interfaces.get(message.dst)
             if interface is not None:
-                link.connect(interface._deliver_from_link)
+                link.connect(interface._deliver_from_link,
+                             accepts=interface.accepts_delivery)
         link.transmit(message)
 
     # -- fault helpers --------------------------------------------------------

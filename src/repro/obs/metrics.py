@@ -312,7 +312,14 @@ class MetricsRegistry:
 
 @dataclass(frozen=True)
 class RunReport:
-    """One run's structured metrics snapshot."""
+    """One run's structured metrics snapshot.
+
+    ``to_dict()``/``from_dict()`` round-trip exactly — values, key
+    insertion order, and int/float distinctions all survive, including
+    through a JSON encode/decode.  Parallel fault campaigns rely on
+    this: reports cross process boundaries as plain dicts and the
+    merged campaign must be indistinguishable from a serial run.
+    """
 
     counters: Dict[str, int] = field(default_factory=dict)
     gauges: Dict[str, Dict[str, Any]] = field(default_factory=dict)

@@ -59,6 +59,7 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Event"], None]] = []
+        self._scheduled = False
 
     @property
     def triggered(self) -> bool:
@@ -83,6 +84,10 @@ class Event:
         """Trigger the event successfully, delivering ``value`` to waiters."""
         if self.triggered:
             raise SimulationError(f"event {self.name!r} already triggered")
+        if self._scheduled:
+            raise SimulationError(
+                f"event {self.name!r} is already scheduled to fire; "
+                f"it cannot be triggered manually")
         self._value = value
         self.sim._schedule_event(self)
         return self
@@ -91,6 +96,10 @@ class Event:
         """Trigger the event with an exception to raise in waiters."""
         if self.triggered:
             raise SimulationError(f"event {self.name!r} already triggered")
+        if self._scheduled:
+            raise SimulationError(
+                f"event {self.name!r} is already scheduled to fire; "
+                f"it cannot be triggered manually")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._value = None
@@ -110,6 +119,8 @@ class Event:
             self._callbacks.append(callback)
 
     def _dispatch(self) -> None:
+        if self._callbacks is None:  # already dispatched: idempotent
+            return
         callbacks, self._callbacks = self._callbacks, None
         for callback in callbacks:
             callback(self)
@@ -357,6 +368,7 @@ class Simulator:
     # -- scheduling -----------------------------------------------------
 
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        event._scheduled = True
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
         self._m_scheduled.inc()

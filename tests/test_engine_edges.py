@@ -155,3 +155,59 @@ class TestKernelEdges:
         thread = node.spawn(body())
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestScheduledEventTriggering:
+    """A scheduled event (Timeout, call_at trigger) fires on its own;
+    triggering it manually used to double-schedule it, making the
+    second dispatch crash on the consumed callback list."""
+
+    def test_succeed_on_pending_timeout_rejected(self, sim):
+        timer = sim.timeout(100)
+        with pytest.raises(SimulationError, match="scheduled"):
+            timer.succeed("manual")
+
+    def test_fail_on_pending_timeout_rejected(self, sim):
+        timer = sim.timeout(100)
+        with pytest.raises(SimulationError, match="scheduled"):
+            timer.fail(RuntimeError("manual"))
+
+    def test_succeed_after_timeout_fired_rejected(self, sim):
+        timer = sim.timeout(10, value="v")
+        sim.run()
+        assert timer.triggered and timer.value == "v"
+        with pytest.raises(SimulationError, match="already triggered"):
+            timer.succeed("again")
+
+    def test_call_at_trigger_rejected(self, sim):
+        trigger = sim.call_at(50, lambda: None)
+        with pytest.raises(SimulationError, match="scheduled"):
+            trigger.succeed()
+
+    def test_rejected_trigger_does_not_break_the_timeout(self, sim):
+        # The original bug: succeed() on a pending Timeout enqueued a
+        # second dispatch whose callback list was already consumed,
+        # raising TypeError deep inside the engine.  The reject must
+        # leave the timeout fully functional.
+        timer = sim.timeout(100, value=7)
+        with pytest.raises(SimulationError):
+            timer.succeed(99)
+        fired = []
+        timer.add_callback(lambda evt: fired.append(evt.value))
+        sim.run()
+        assert fired == [7]
+        assert sim.now == 100
+
+    def test_process_waiting_on_timeout_unaffected(self, sim):
+        log = []
+
+        def proc():
+            got = yield sim.timeout(30, value="tick")
+            log.append((sim.now, got))
+
+        sim.process(proc())
+        timer = sim.timeout(5)
+        with pytest.raises(SimulationError):
+            timer.fail(RuntimeError("nope"))
+        sim.run()
+        assert log == [(30, "tick")]

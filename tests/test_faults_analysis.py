@@ -179,11 +179,13 @@ class TestCampaignEdgeCases:
             return {"rare": seed} if seed % 2 else {"other": 1}
 
         result = Campaign(scenario, seeds=range(4)).run()
-        # mean/maximum average over the runs that HAVE the key...
+        # mean/maximum/total all skip runs lacking the key, so
+        # total == mean * present; fraction treats absence as falsy.
         assert result.mean("rare") == 2.0  # (1 + 3) / 2
         assert result.maximum("rare") == 3
-        # ...while total/fraction treat absence as zero/falsy.
         assert result.total("rare") == 4
+        assert result.present("rare") == 2
+        assert result.total("rare") == result.mean("rare") * result.present("rare")
         assert result.fraction("rare") == 0.5
 
     def test_mean_with_zero_matching_runs(self):

@@ -247,3 +247,168 @@ class TestMessage:
     def test_max_message_delay_over_topology(self, sim):
         net = make_net(sim, n=3, base_latency=40, jitter_bound=0)
         assert net.max_message_delay(0) == 40
+
+
+class _FixedRng:
+    """Deterministic jitter source: always draws the same value."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def randrange(self, _lo, hi):
+        assert self.value < hi
+        return self.value
+
+
+def make_link(sim, inbox, base_latency=100, jitter_bound=0, jitter=None,
+              **kwargs):
+    from repro.network.link import Link
+
+    tracer = Tracer(lambda: sim.now)
+    rng = _FixedRng(jitter) if jitter is not None else None
+    link = Link(sim, tracer, "a", "b", base_latency=base_latency,
+                jitter_bound=jitter_bound, rng=rng, **kwargs)
+    link.connect(lambda m: inbox.append((m.payload, sim.now)))
+    return link
+
+
+class TestLateBoundary:
+    """LATE means delivered past the guaranteed bound — decided at
+    delivery time, whatever combination of fault delay, jitter and FIFO
+    push-back produced the delivery instant."""
+
+    def test_exactly_at_bound_is_not_late(self, sim):
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100, jitter_bound=50,
+                         jitter=50)
+        link.transmit(Message(src="a", dst="b", payload="x", size=0))
+        sim.run()
+        assert inbox == [("x", 150)]  # == guaranteed_bound(0)
+        assert link.stats[DeliveryOutcome.DELIVERED] == 1
+        assert link.stats[DeliveryOutcome.LATE] == 0
+
+    def test_one_past_bound_is_late(self, sim):
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100, jitter_bound=50,
+                         jitter=50)
+        link.add_fault(PerformanceFault(extra_delay=1))
+        outcome = link.transmit(Message(src="a", dst="b", payload="x",
+                                        size=0))
+        sim.run()
+        assert outcome is DeliveryOutcome.LATE
+        assert inbox == [("x", 151)]
+        assert link.stats[DeliveryOutcome.LATE] == 1
+
+    def test_fault_delay_absorbed_by_jitter_headroom_is_on_time(self, sim):
+        # A lucky draw leaves headroom below the bound: a fault delay
+        # smaller than that headroom is invisible to the receiver.
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100, jitter_bound=50,
+                         jitter=0)
+        fault = PerformanceFault(extra_delay=30)
+        link.add_fault(fault)
+        outcome = link.transmit(Message(src="a", dst="b", payload="x",
+                                        size=0))
+        sim.run()
+        assert fault.delayed == 1
+        assert outcome is DeliveryOutcome.DELIVERED
+        assert inbox == [("x", 130)]  # bound is 150
+        assert link.stats[DeliveryOutcome.LATE] == 0
+        assert link.stats[DeliveryOutcome.DELIVERED] == 1
+
+    def test_fifo_pushback_past_bound_is_late(self, sim):
+        # msg1 is delayed way past the bound; msg2 is healthy but FIFO
+        # push-back parks it behind msg1 — also past ITS bound: LATE.
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100)
+        link.add_fault(PerformanceFault(extra_delay=500))
+        link.transmit(Message(src="a", dst="b", payload=1, size=0))
+        link.clear_faults()
+        outcome = link.transmit(Message(src="a", dst="b", payload=2,
+                                        size=0))
+        sim.run()
+        assert outcome is DeliveryOutcome.LATE
+        assert inbox == [(1, 600), (2, 600)]  # order preserved
+        assert link.stats[DeliveryOutcome.LATE] == 2
+        assert link.stats[DeliveryOutcome.DELIVERED] == 0
+
+
+class TestLinkFaultEdges:
+    def test_fifo_order_preserved_under_jitter(self, sim):
+        net = make_net(sim, base_latency=100, jitter_bound=80, seed=42)
+        order, times = [], []
+
+        def on_recv(m):
+            order.append(m.payload)
+            times.append(sim.now)
+
+        net.interfaces["n1"].on_receive(on_recv)
+        for i in range(10):
+            net.interfaces["n0"].send("n1", i)
+        sim.run()
+        assert order == list(range(10))
+        assert times == sorted(times)
+
+    def test_max_consecutive_zero_never_drops(self, sim):
+        net = make_net(sim)
+        fault = OmissionFault(probability=1.0, rng=random.Random(0),
+                              max_consecutive=0)
+        net.link("n0", "n1").add_fault(fault)
+        got = []
+        net.interfaces["n1"].on_receive(lambda m: got.append(m.payload))
+        for i in range(5):
+            net.interfaces["n0"].send("n1", i)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+        assert fault.dropped == 0
+
+    def test_max_consecutive_resets_after_forced_delivery(self, sim):
+        # drop_ids ask for 1,2,3,4 to be dropped; the cap of 2 forces 3
+        # through, then the run restarts and 4 drops again.
+        net = make_net(sim)
+        ids = {}
+
+        def capture(m):
+            ids.setdefault(m.payload, m.msg_id)
+
+        sent = []
+        for i in range(6):
+            msg = Message(src="n0", dst="n1", payload=i,
+                          msg_id=1000 + i)
+            sent.append(msg)
+        fault = OmissionFault(drop_ids={1001, 1002, 1003, 1004},
+                              max_consecutive=2)
+        link = net.link("n0", "n1")
+        link.add_fault(fault)
+        got = []
+        net.interfaces["n1"].on_receive(lambda m: got.append(m.payload))
+        for msg in sent:
+            link.transmit(msg)
+        sim.run()
+        assert got == [0, 3, 5]
+        assert fault.dropped == 3
+
+    def test_crashed_destination_counts_dst_crashed(self, sim):
+        net = make_net(sim, base_latency=50)
+        link = net.link("n0", "n1")
+        net.nodes["n1"].crash()
+        net.interfaces["n0"].send("n1", "lost")
+        sim.run()
+        assert link.stats[DeliveryOutcome.DST_CRASHED] == 1
+        assert link.stats[DeliveryOutcome.DELIVERED] == 0
+        assert net.interfaces["n1"].received_count == 0
+
+    def test_recovered_destination_delivers_again(self, sim):
+        net = make_net(sim, base_latency=50)
+        link = net.link("n0", "n1")
+        net.nodes["n1"].crash()
+        net.interfaces["n0"].send("n1", "lost")
+        sim.run()
+        net.nodes["n1"].recover()
+        got = []
+        net.interfaces["n1"].on_receive(lambda m: got.append(m.payload))
+        net.interfaces["n0"].send("n1", "through")
+        sim.run()
+        assert got == ["through"]
+        assert link.stats[DeliveryOutcome.DST_CRASHED] == 1
+        assert link.stats[DeliveryOutcome.DELIVERED] == 1

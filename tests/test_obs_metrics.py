@@ -110,6 +110,30 @@ class TestRunReport:
             json.loads(json.dumps(report.to_dict())))
         assert clone == report
 
+    def test_round_trip_preserves_order_and_types(self):
+        # The parallel campaign executor ships reports across process
+        # boundaries as dicts; merged results must be byte-identical to
+        # serial, which needs key order and int/float to survive JSON.
+        registry = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.middle"):
+            registry.counter(name).inc(1)
+        registry.gauge("g").set(3)
+        registry.histogram("h", buckets=(10,)).observe(4)
+        report = registry.snapshot(seed=7, scenario="E9")
+        clone = RunReport.from_dict(
+            json.loads(json.dumps(report.to_dict())))
+        assert clone == report
+        # snapshot() normalises counters to sorted name order (so the
+        # wire format is registration-order independent) and the
+        # round-trip must keep that order untouched.
+        assert list(clone.counters) == ["a.first", "m.middle", "z.last"]
+        assert list(clone.meta) == ["seed", "scenario"]
+        assert isinstance(clone.counters["z.last"], int)
+        assert isinstance(clone.meta["seed"], int)
+        assert isinstance(clone.histograms["h"].buckets, tuple)
+        assert json.dumps(clone.to_dict()) == json.dumps(report.to_dict())
+        assert clone.flat() == report.flat()
+
     def test_aggregate_sums_counters_and_histograms(self):
         merged = aggregate_reports([self.make_report(c=1, g=2, n=1),
                                     self.make_report(c=4, g=6, n=3)])
