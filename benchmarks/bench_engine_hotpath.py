@@ -1,0 +1,286 @@
+"""Experiment E17 — engine hot-path throughput with a regression gate.
+
+The ROADMAP's north star ("runs as fast as the hardware allows") is
+bounded by the event loop's constant factors: every §5 experiment
+funnels millions of tiny timed events through ``Simulator.step``.  This
+benchmark measures raw engine throughput across the three workload
+shapes that dominate the paper's evaluation:
+
+* **timeout_heavy** — four processes yielding back-to-back timeouts:
+  the pure schedule/pop/resume cycle (events/sec);
+* **cancel_heavy** — every other scheduled timer is cancelled before it
+  fires: measures the lazy-tombstone skip path (events/sec, cancelled
+  entries included — they still transit the heap);
+* **activation_heavy** — full middleware activations of a two-node
+  HEUG with a remote precedence edge (activations/sec): dispatcher,
+  kernel threads, network and tracer all on the path.
+
+Because absolute rates vary with the host, the committed baseline
+(``BENCH_engine.json``) also stores a *calibration* rate — a fixed
+pure-Python workload measured in the same process — and the regression
+gate compares rates **normalized by calibration**, so a slower CI
+runner does not masquerade as a code regression.
+
+CLI (used by the CI job)::
+
+    python benchmarks/bench_engine_hotpath.py --write   # re-baseline
+    python benchmarks/bench_engine_hotpath.py --check   # gate: >15% drop fails
+
+Re-baselining is deliberate: after an intentional perf change, run
+``--write`` on the reference machine and commit the new
+``BENCH_engine.json`` alongside the change.
+"""
+
+import gc
+import json
+import pathlib
+import sys
+import time
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Fractional throughput drop (normalized) that fails the gate.
+REGRESSION_TOLERANCE = 0.15
+
+TIMEOUT_EVENTS = 200_000
+CANCEL_EVENTS = 200_000
+ACTIVATIONS = 1_000
+REPEATS = 5
+
+
+# -- workload shapes --------------------------------------------------------
+
+def run_timeout_heavy(n=TIMEOUT_EVENTS):
+    """Pure schedule/pop/resume cycling; returns events/sec."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n // 4):
+            yield sim.timeout(1)
+
+    for _ in range(4):
+        sim.process(proc())
+    start = time.perf_counter()
+    sim.run()
+    return n / (time.perf_counter() - start)
+
+
+def run_cancel_heavy(n=CANCEL_EVENTS):
+    """Half the timers are tombstoned before firing; returns events/sec
+    over *all* scheduled events (tombstones still transit the heap)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n // 2):
+            doomed = sim.timeout(10)
+            doomed.cancel()
+            yield sim.timeout(1)
+
+    sim.process(proc())
+    start = time.perf_counter()
+    sim.run()
+    return n / (time.perf_counter() - start)
+
+
+def run_activation_heavy(n=ACTIVATIONS):
+    """Full-stack HEUG activations with a remote edge; activations/sec."""
+    from repro.core.costs import DispatcherCosts
+    from repro.core.heug import EUAttributes, Task
+    from repro.system import HadesSystem
+
+    system = HadesSystem(node_ids=["n0", "n1"], costs=DispatcherCosts.zero())
+    task = Task("bench", deadline=10_000)
+    first = task.code_eu("a", wcet=10, node_id="n0",
+                         attrs=EUAttributes(prio=20))
+    second = task.code_eu("b", wcet=10, node_id="n1",
+                          attrs=EUAttributes(prio=20))
+    task.precede(first, second)
+    task.validate()
+    start = time.perf_counter()
+    for _ in range(n):
+        system.activate(task)
+        system.run()
+    return n / (time.perf_counter() - start)
+
+
+def run_calibration(n=2_000_000):
+    """Fixed pure-Python workload: host-speed yardstick (ops/sec)."""
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i & 7
+    assert total > 0
+    return n / (time.perf_counter() - start)
+
+
+SHAPES = {
+    "timeout_heavy": (run_timeout_heavy, "events/sec"),
+    "cancel_heavy": (run_cancel_heavy, "events/sec"),
+    "activation_heavy": (run_activation_heavy, "activations/sec"),
+}
+
+#: Rates measured on the reference machine at the pre-optimization
+#: commit (af16af8), same shapes and parameters.  Kept so the committed
+#: baseline records the speedup the optimization PR delivered; not used
+#: by the regression gate.
+PRE_PR_MAIN = {
+    "timeout_heavy": 389_624.0,
+    "cancel_heavy": 282_838.0,
+    "activation_heavy": 1_356.0,
+}
+
+
+# -- measurement & gate -----------------------------------------------------
+
+def best_of(fn, repeat=REPEATS):
+    """Best rate over ``repeat`` runs, with the cyclic GC paused.
+
+    Collector pauses landing inside a timed region are the dominant
+    run-to-run noise for the allocation-heavy shapes; best-of-N with GC
+    paused makes the gate stable enough for a 15% tolerance.
+    """
+    best = 0.0
+    for _ in range(repeat):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            best = max(best, fn())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        gc.collect()
+    return best
+
+
+def measure():
+    """Best-of-N rates for every shape plus the calibration yardstick."""
+    calibration = best_of(run_calibration)
+    shapes = {}
+    for name, (fn, unit) in SHAPES.items():
+        rate = best_of(fn)
+        shapes[name] = {
+            "rate": round(rate, 1),
+            "unit": unit,
+            "normalized": rate / calibration,
+            "speedup_vs_pre_pr": round(rate / PRE_PR_MAIN[name], 2),
+        }
+    return {
+        "experiment": "E17",
+        "description": "engine hot-path throughput "
+                       "(see benchmarks/bench_engine_hotpath.py)",
+        "calibration_ops_per_sec": round(calibration, 1),
+        "tolerance": REGRESSION_TOLERANCE,
+        "shapes": shapes,
+    }
+
+
+def check(results, baseline):
+    """Compare normalized rates against the baseline.
+
+    Returns a list of (shape, ratio) failures where ratio is
+    new/old normalized throughput below ``1 - tolerance``.
+    """
+    tolerance = baseline.get("tolerance", REGRESSION_TOLERANCE)
+    failures = []
+    for name, entry in baseline["shapes"].items():
+        if name not in results["shapes"]:
+            failures.append((name, 0.0))
+            continue
+        ratio = results["shapes"][name]["normalized"] / entry["normalized"]
+        if ratio < 1.0 - tolerance:
+            failures.append((name, ratio))
+    return failures
+
+
+def _print_results(results, baseline=None):
+    from benchmarks.conftest import print_table
+
+    rows = []
+    for name, entry in results["shapes"].items():
+        row = [name, f"{entry['rate']:,.0f}", entry["unit"],
+               f"{entry['normalized']:.4f}"]
+        if baseline is not None and name in baseline["shapes"]:
+            ratio = entry["normalized"] / baseline["shapes"][name]["normalized"]
+            row.append(f"{ratio:.2f}x")
+        rows.append(row)
+    headers = ["shape", "rate", "unit", "normalized"]
+    if baseline is not None:
+        headers.append("vs baseline")
+    print_table("E17 — engine hot-path throughput "
+                f"(calibration {results['calibration_ops_per_sec']:,.0f} ops/s)",
+                headers, rows)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--write" in argv:
+        results = measure()
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        _print_results(results)
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if "--check" in argv:
+        if not BASELINE_PATH.exists():
+            print(f"error: no baseline at {BASELINE_PATH}; run --write first",
+                  file=sys.stderr)
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text())
+        results = measure()
+        _print_results(results, baseline)
+        failures = check(results, baseline)
+        tolerance = baseline.get("tolerance", REGRESSION_TOLERANCE)
+        if failures:
+            for name, ratio in failures:
+                print(f"REGRESSION {name}: {ratio:.2f}x of baseline "
+                      f"(floor {1.0 - tolerance:.2f}x, normalized)",
+                      file=sys.stderr)
+            return 1
+        print(f"gate passed: every shape >= {1.0 - tolerance:.2f}x of "
+              "the committed baseline (normalized)")
+        return 0
+    print(__doc__)
+    return 0
+
+
+# -- pytest face ------------------------------------------------------------
+
+def test_engine_hotpath_rates(benchmark):
+    """Regenerates the E17 table and gates against the committed baseline."""
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    baseline = (json.loads(BASELINE_PATH.read_text())
+                if BASELINE_PATH.exists() else None)
+    _print_results(results, baseline)
+    for name, entry in results["shapes"].items():
+        assert entry["rate"] > 0, name
+    if baseline is not None:
+        failures = check(results, baseline)
+        assert not failures, (
+            f"normalized throughput regression(s) beyond "
+            f"{REGRESSION_TOLERANCE:.0%}: {failures}")
+
+
+def test_cancel_heavy_tombstones_are_skipped():
+    """The cancel-heavy shape really exercises the tombstone path."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(metrics=MetricsRegistry())
+
+    def proc():
+        for _ in range(100):
+            sim.timeout(10).cancel()
+            yield sim.timeout(1)
+
+    sim.process(proc())
+    sim.run()
+    skipped = sim.metrics.counter("engine.cancelled_skips").value
+    assert skipped == 100
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    raise SystemExit(main())

@@ -2,16 +2,18 @@
 """Quickstart: a minimal HADES deployment.
 
 Builds a one-node system, attaches an EDF scheduler, declares two
-periodic tasks as HEUGs, runs 100 ms of simulated time and prints
-response-time statistics and the monitoring summary.
+periodic tasks as HEUGs with the builder idiom (``code_eu`` returns the
+unit, ``chain``/``validate`` return the task), runs 100 ms of simulated
+time and prints response-time statistics and the monitoring summary.
+
+Everything the example needs comes from the stable ``repro`` facade
+(``repro.__all__``); only the response-time helper lives deeper.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import HadesSystem
+from repro import DispatcherCosts, EDFScheduler, HadesSystem, Periodic, Task
 from repro.analysis import response_time_stats
-from repro.core import DispatcherCosts, Periodic, Task
-from repro.scheduling import EDFScheduler
 
 
 def main() -> None:
@@ -19,13 +21,16 @@ def main() -> None:
     system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts())
     system.attach_scheduler(EDFScheduler(scope="n0", w_sched=2))
 
-    # Task 1: a 2 ms control computation every 10 ms.
+    # Task 1: a 2 ms control computation every 10 ms.  code_eu() returns
+    # the created unit; chain() and validate() return the task, so the
+    # whole HEUG reads as one builder expression.
     control = Task("control", deadline=10_000,
                    arrival=Periodic(period=10_000), node_id="n0")
-    sense = control.code_eu("sense", wcet=300)
-    compute = control.code_eu("compute", wcet=1_500)
-    actuate = control.code_eu("actuate", wcet=200)
-    control.chain(sense, compute, actuate)
+    control.chain(
+        control.code_eu("sense", wcet=300),
+        control.code_eu("compute", wcet=1_500),
+        control.code_eu("actuate", wcet=200),
+    ).validate()
 
     # Task 2: a 5 ms logging pass every 50 ms, with a looser deadline.
     logging_task = Task("logger", deadline=40_000,
@@ -33,7 +38,7 @@ def main() -> None:
     logging_task.code_eu("flush", wcet=5_000)
 
     system.register_periodic(control, count=10)
-    system.register_periodic(logging_task, count=2)
+    system.register_periodic(logging_task.validate(), count=2)
     system.run(until=100_000)
 
     print("HADES quickstart")

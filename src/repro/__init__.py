@@ -7,10 +7,29 @@ This library reproduces, in simulation, the system described in
     "Hades: A Middleware Support for Distributed Safety-Critical
     Real-Time Applications", INRIA RR-3280 / ICDCS 1998.
 
-Public entry points:
+Stable facade
+-------------
 
-* :class:`repro.system.HadesSystem` — one wired deployment (simulator,
-  nodes, network, dispatcher, monitor),
+The names exported here (see ``__all__``) form the supported public
+API; everything else is an implementation detail that may move between
+minor versions.  A typical deployment needs nothing beyond::
+
+    from repro import (HadesSystem, Task, EUAttributes, EDFScheduler,
+                       DispatcherCosts)
+
+    system = HadesSystem(node_ids=["n0", "n1"])
+    system.attach_scheduler(EDFScheduler(scope="n0"))
+    task = Task("control", deadline=10_000)
+    sense = task.code_eu("sense", wcet=200, node_id="n0",
+                         attrs=EUAttributes(prio=20))
+    act = task.code_eu("act", wcet=100, node_id="n1",
+                       attrs=EUAttributes(prio=20))
+    task.precede(sense, act)
+    system.activate(task.validate())
+    system.run()
+
+Deeper layers remain importable for research use:
+
 * :mod:`repro.core` — the HEUG task model, dispatcher, cost model,
 * :mod:`repro.scheduling` — EDF, RM, DM, Spring, PCP, SRP, FIFO,
 * :mod:`repro.feasibility` — off-line scheduling tests incl. the §5.3
@@ -19,11 +38,73 @@ Public entry points:
   consensus, fault detection, storage, dependency tracking,
 * :mod:`repro.workloads` — synthetic task-set generators,
 * :mod:`repro.faults` — fault-injection campaigns,
-* :mod:`repro.analysis` — cost calibration and trace analysis.
+* :mod:`repro.analysis` — cost calibration and trace analysis,
+* :mod:`repro.obs` — metrics registry and trace tooling.
 """
 
+from repro.core.costs import DispatcherCosts
+from repro.core.heug import (
+    CodeEU,
+    ConditionVariable,
+    EUAttributes,
+    InvEU,
+    Precedence,
+    Resource,
+    Task,
+)
+from repro.core.attributes import Aperiodic, Periodic, Sporadic
+from repro.faults import Campaign, CampaignResult, FaultPlan, random_plan
+from repro.obs.metrics import MetricsRegistry, RunReport, resolve_metrics
+from repro.scheduling import (
+    DMScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    FixedPriorityScheduler,
+    RMScheduler,
+    SpringScheduler,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["HadesSystem", "__version__"]
+__all__ = [
+    # deployment facade
+    "HadesSystem",
+    "Simulator",
+    # HEUG task model
+    "Task",
+    "CodeEU",
+    "InvEU",
+    "EUAttributes",
+    "Precedence",
+    "Resource",
+    "ConditionVariable",
+    # arrival laws
+    "Periodic",
+    "Sporadic",
+    "Aperiodic",
+    # dispatcher cost model
+    "DispatcherCosts",
+    # scheduling policies
+    "EDFScheduler",
+    "RMScheduler",
+    "DMScheduler",
+    "SpringScheduler",
+    "FixedPriorityScheduler",
+    "FIFOScheduler",
+    # fault-injection campaigns
+    "Campaign",
+    "CampaignResult",
+    "FaultPlan",
+    "random_plan",
+    # observability
+    "MetricsRegistry",
+    "RunReport",
+    "resolve_metrics",
+    "Tracer",
+    "TraceRecord",
+    "load_trace",
+    "__version__",
+]

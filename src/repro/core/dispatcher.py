@@ -93,6 +93,10 @@ class EUInstance:
         self.dispatcher = dispatcher
         self.state = EUState.WAITING
         self.preds_remaining = len(instance.task.in_edges(eu))
+        #: task#seq/eu identifier used in traces (precomputed once —
+        #: the hot trace calls would otherwise re-interpolate it).
+        self.qualified_name = (f"{instance.task.name}#{instance.seq}"
+                               f"/{eu.name}")
         self.inputs: Dict[str, Any] = {}
         attrs: EUAttributes = getattr(eu, "attrs", EUAttributes())
         self.priority = attrs.prio
@@ -114,6 +118,10 @@ class EUInstance:
         self._rac_emitted = False
         self._watching_condvars = False
         self._earliest_timer_target: Optional[int] = None
+        # Pending monitoring timers (cancelled — tombstoned in the
+        # event heap — once they can no longer report anything).
+        self._deadline_timer: Optional[Event] = None
+        self._latest_timer: Optional[Event] = None
         # For sync invocations: the invoked instance.
         self.invoked_instance: Optional["TaskInstance"] = None
 
@@ -121,12 +129,6 @@ class EUInstance:
     def node_id(self) -> str:
         """The processor this unit is assigned to."""
         return self.instance.task.node_of(self.eu)
-
-    @property
-    def qualified_name(self) -> str:
-        """task#seq/eu identifier used in traces."""
-        return (f"{self.instance.task.name}#{self.instance.seq}"
-                f"/{self.eu.name}")
 
     def is_code(self) -> bool:
         """Whether this instance wraps a Code_EU."""
@@ -176,6 +178,7 @@ class TaskInstance:
             f"done:{task.name}#{seq}")
         self.finish_time: Optional[int] = None
         self.missed_deadline = False
+        self._deadline_timer: Optional[Event] = None
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -253,14 +256,14 @@ class Dispatcher:
                  abort_mode: str = "kill",
                  omission_margin: int = 10,
                  metrics=None):
-        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.metrics import resolve_metrics
 
         if on_deadline_miss not in ("record", "abort"):
             raise ValueError(f"bad on_deadline_miss {on_deadline_miss!r}")
         if abort_mode not in ("kill", "lazy"):
             raise ValueError(f"bad abort_mode {abort_mode!r}")
         self.sim = sim
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics = resolve_metrics(metrics)
         self.network = network
         self.costs = costs if costs is not None else DispatcherCosts()
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
@@ -355,21 +358,23 @@ class Dispatcher:
             # Check one microsecond past the deadline so that completing
             # *exactly at* the deadline counts as meeting it (late
             # completions are also caught at completion time).
-            self.sim.call_at(instance.abs_deadline + 1,
-                             lambda: self._check_deadline(instance))
+            instance._deadline_timer = self.sim.call_at(
+                instance.abs_deadline + 1,
+                lambda: self._check_deadline(instance))
 
         for eui in instance.eu_instances.values():
             if eui.is_code():
                 self._notify(NotificationKind.ATV, eui)
                 if eui.latest is not None:
-                    self.sim.call_at(eui.latest,
-                                     lambda e=eui: self._check_latest(e))
+                    eui._latest_timer = self.sim.call_at(
+                        eui.latest, lambda e=eui: self._check_latest(e))
                 if eui.deadline is not None:
                     # §3.1.2: the unit-level deadline attribute feeds
                     # the monitoring activity (checked one tick past,
                     # like the task-level deadline).
-                    self.sim.call_at(eui.deadline + 1,
-                                     lambda e=eui: self._check_eu_deadline(e))
+                    eui._deadline_timer = self.sim.call_at(
+                        eui.deadline + 1,
+                        lambda e=eui: self._check_eu_deadline(e))
         # Evaluate source units after Atv notifications are queued, so a
         # same-node scheduler (highest priority) reacts before the unit
         # gets the CPU — the Figure 2 interleaving.
@@ -689,6 +694,12 @@ class Dispatcher:
             return
         self._complete_eu(eui, context)
 
+    @staticmethod
+    def _cancel_timer(timer: Optional[Event]) -> None:
+        """Tombstone a monitoring timer that can no longer report."""
+        if timer is not None and not timer.triggered and not timer.cancelled:
+            timer.cancel()
+
     def _complete_eu(self, eui: EUInstance, context: ActionContext) -> None:
         eu: CodeEU = eui.eu  # type: ignore[assignment]
         eui.state = EUState.DONE
@@ -701,8 +712,15 @@ class Dispatcher:
                                 eu=eu.name, actual=eui.actual_used,
                                 wcet=eu.wcet)
 
-        # End-of-unit effects: condvar signals declared by the action.
-        for condvar, value in context._signals:
+        # Monitoring timers that can no longer report anything become
+        # heap tombstones instead of firing into early returns.
+        self._cancel_timer(eui._latest_timer)
+        if eui.deadline is not None and eui.finish_time <= eui.deadline:
+            self._cancel_timer(eui._deadline_timer)
+
+        # End-of-unit effects: condvar signals declared by the action,
+        # deduplicated last-write-wins per condvar (ActionContext.signal).
+        for condvar, value in context._signals.items():
             if value:
                 condvar.set()
             else:
@@ -776,7 +794,7 @@ class Dispatcher:
         task = instance.task
         src_node = task.node_of(edge.src)
         dst_node = task.node_of(edge.dst)
-        edge_index = task.edges.index(edge)
+        edge_index = task.edge_index(edge)
         payload = {
             "task": task.name,
             "seq": instance.seq,
@@ -906,6 +924,9 @@ class Dispatcher:
         instance.finish_time = self.sim.now
         self.completed_instances += 1
         if (instance.abs_deadline is not None
+                and instance.finish_time <= instance.abs_deadline):
+            self._cancel_timer(instance._deadline_timer)
+        if (instance.abs_deadline is not None
                 and instance.finish_time > instance.abs_deadline
                 and not instance.missed_deadline):
             instance.missed_deadline = True
@@ -925,6 +946,7 @@ class Dispatcher:
         if instance.state is not InstanceState.ACTIVE:
             return
         instance.state = InstanceState.ABORTED
+        self._cancel_timer(instance._deadline_timer)
         self.tracer.record("dispatcher", "instance_abort",
                            task=instance.task.name, seq=instance.seq,
                            reason=reason)

@@ -16,11 +16,33 @@ between units.  A constraint between EUs on different processors is
 *remote* and models an invocation of the ``T_network`` communication
 task (paper §3.1); locality is derived from the EU node assignments, so
 applications are designed independently of the network actually used.
+
+**Builder idiom.**  :class:`Task` is a chainable builder: the
+``code_eu``/``inv_eu`` conveniences return the unit they created,
+``chain``/``precede-free`` construction helpers and ``validate`` return
+the task itself, so a complete HEUG reads as one expression::
+
+    control = Task("control", deadline=10_000, node_id="n0")
+    sense = control.code_eu("sense", wcet=300)
+    compute = control.code_eu("compute", wcet=1_500)
+    actuate = control.code_eu("actuate", wcet=200)
+    control.chain(sense, compute, actuate).validate()
+
+**Derived-structure caching.**  The dispatcher consults a task's graph
+structure on every activation and every unit completion (predecessor
+counts, out-edges, remoteness of each edge, the topological order
+behind ``validate``).  All of it is derived data, so :class:`Task`
+caches it the first time it is queried and serves the cache until the
+graph is *mutated* — ``add``/``code_eu``/``inv_eu``/``precede``/
+``chain`` all invalidate.  Mutating attributes the cache depends on
+*without* going through those methods (reassigning ``eu.node_id`` or
+``task.node_id`` after a query, editing ``task.edges`` in place) must
+be followed by an explicit :meth:`Task.invalidate_cache`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -46,17 +68,30 @@ class ActionContext:
     when the unit ends — actions themselves never synchronise).
     """
 
+    __slots__ = ("inputs", "outputs", "activation_time", "now", "_signals")
+
     def __init__(self, inputs: Dict[str, Any], activation_time: int,
                  now: int):
         self.inputs = inputs
         self.outputs: Dict[str, Any] = {}
         self.activation_time = activation_time
         self.now = now
-        self._signals: List[Tuple[ConditionVariable, bool]] = []
+        # Queued condvar signals, deduplicated per condvar with
+        # last-write-wins semantics (see signal()).  Insertion-ordered
+        # by *first* signal of each condvar.
+        self._signals: Dict[ConditionVariable, bool] = {}
 
     def signal(self, condvar: ConditionVariable, value: bool = True) -> None:
-        """Queue a set (or clear) of ``condvar`` for end of unit."""
-        self._signals.append((condvar, value))
+        """Queue a set (or clear) of ``condvar`` for end of unit.
+
+        Signals are applied by the dispatcher when the unit ends, one
+        state change per condition variable: signalling the same
+        condvar several times within one unit keeps only the **last**
+        value (last-write-wins).  A set-then-clear sequence therefore
+        ends the unit with exactly one ``clear`` applied — watchers do
+        *not* observe the intermediate set.
+        """
+        self._signals[condvar] = value
 
 
 Action = Callable[[ActionContext], None]
@@ -160,12 +195,71 @@ class Precedence:
     param: Optional[str] = None
 
 
+class _GraphCache:
+    """Derived structures of one Task graph, built in one pass.
+
+    Everything the dispatcher's per-activation and per-completion hot
+    paths ask of the graph — adjacency, remoteness, ordering — computed
+    once after the last mutation instead of per query.
+    """
+
+    __slots__ = ("in_edges", "out_edges", "preds", "succs", "node_of",
+                 "is_remote", "edge_index", "topo_order", "topo_error",
+                 "sources", "sinks")
+
+    def __init__(self, task: "Task"):
+        eus = task.eus
+        edges = task.edges
+        self.in_edges: Dict[EU, List[Precedence]] = {eu: [] for eu in eus}
+        self.out_edges: Dict[EU, List[Precedence]] = {eu: [] for eu in eus}
+        self.preds: Dict[EU, List[EU]] = {eu: [] for eu in eus}
+        self.succs: Dict[EU, List[EU]] = {eu: [] for eu in eus}
+        self.edge_index: Dict[Precedence, int] = {}
+        default_node = task.node_id
+        self.node_of: Dict[EU, Optional[str]] = {
+            eu: (eu.node_id if getattr(eu, "node_id", None) is not None
+                 else default_node)
+            for eu in eus}
+        self.is_remote: Dict[Precedence, bool] = {}
+        for index, edge in enumerate(edges):
+            self.in_edges[edge.dst].append(edge)
+            self.out_edges[edge.src].append(edge)
+            self.preds[edge.dst].append(edge.src)
+            self.succs[edge.src].append(edge.dst)
+            if edge not in self.edge_index:
+                self.edge_index[edge] = index
+            self.is_remote[edge] = (self.node_of[edge.src]
+                                    != self.node_of[edge.dst])
+        self.sources: List[EU] = [eu for eu in eus if not self.preds[eu]]
+        self.sinks: List[EU] = [eu for eu in eus if not self.succs[eu]]
+        # Deterministic Kahn topological sort (insertion-order frontier,
+        # matching the historical list.pop(0) behaviour).
+        in_degree = {eu: len(self.preds[eu]) for eu in eus}
+        frontier = [eu for eu in eus if in_degree[eu] == 0]
+        order: List[EU] = []
+        head = 0
+        while head < len(frontier):
+            eu = frontier[head]
+            head += 1
+            order.append(eu)
+            for succ in self.succs[eu]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    frontier.append(succ)
+        self.topo_error = len(order) != len(eus)
+        self.topo_order = order
+
+
 class Task:
     """A HEUG: elementary units + precedence constraints + timing.
 
     ``deadline`` is relative to the activation request (paper §3.1.2);
     ``arrival`` is the activation arrival law; ``node_id`` is the
     default processor for units that do not name one.
+
+    Construction is chainable (see the module docstring's builder
+    idiom): mutators return ``self`` or the created unit, and derived
+    graph structure is cached between mutations.
     """
 
     def __init__(self, name: str, deadline: Optional[int] = None,
@@ -186,80 +280,116 @@ class Task:
         self.eus: List[EU] = []
         self.edges: List[Precedence] = []
         self._validated = False
+        self._cache: Optional[_GraphCache] = None
 
     # -- construction -----------------------------------------------------
 
+    def invalidate_cache(self) -> "Task":
+        """Drop cached derived structures (topology, adjacency,
+        remoteness) and the validation flag; returns self.
+
+        Called automatically by :meth:`add`/:meth:`precede`/
+        :meth:`chain`; call it yourself after out-of-band mutations the
+        cache cannot observe (reassigning ``node_id`` attributes,
+        editing ``edges`` in place).
+        """
+        self._cache = None
+        self._validated = False
+        return self
+
+    def _graph(self) -> _GraphCache:
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = _GraphCache(self)
+        return cache
+
     def add(self, eu: EU) -> EU:
-        """Add an elementary unit to the graph."""
+        """Add an elementary unit to the graph; returns the unit."""
         if eu.task is not None and eu.task is not self:
             raise ValueError(f"{eu.name} already belongs to {eu.task.name}")
         if any(existing.name == eu.name for existing in self.eus):
             raise ValueError(f"duplicate EU name {eu.name!r} in {self.name}")
         eu.task = self
         self.eus.append(eu)
-        self._validated = False
+        self.invalidate_cache()
         return eu
 
     def code_eu(self, name: str, wcet: int, **kwargs: Any) -> CodeEU:
-        """Convenience: create and add a :class:`CodeEU`."""
+        """Convenience: create and add a :class:`CodeEU`; returns it."""
         return self.add(CodeEU(name, wcet, **kwargs))  # type: ignore[return-value]
 
     def inv_eu(self, name: str, target: "Task", **kwargs: Any) -> InvEU:
-        """Convenience: create and add an :class:`InvEU`."""
+        """Convenience: create and add an :class:`InvEU`; returns it."""
         return self.add(InvEU(name, target, **kwargs))  # type: ignore[return-value]
 
     def precede(self, src: EU, dst: EU, param: Optional[str] = None) -> Precedence:
-        """Add the precedence constraint ``src`` → ``dst``."""
+        """Add the precedence constraint ``src`` → ``dst``; returns it."""
         if src not in self.eus or dst not in self.eus:
             raise ValueError("precedence endpoints must belong to this task")
         if src is dst:
             raise ValueError("self-precedence is a cycle")
         edge = Precedence(src, dst, param)
         self.edges.append(edge)
-        self._validated = False
+        self.invalidate_cache()
         return edge
 
-    def chain(self, *eus: EU) -> None:
-        """Add precedence constraints forming a linear chain."""
+    def chain(self, *eus: EU) -> "Task":
+        """Add precedence constraints forming a linear chain; returns
+        self (builder idiom)."""
         for src, dst in zip(eus, eus[1:]):
             self.precede(src, dst)
+        return self
 
     # -- graph queries ---------------------------------------------------------
 
     def predecessors(self, eu: EU) -> List[EU]:
         """Units with an edge into the given unit."""
-        return [edge.src for edge in self.edges if edge.dst is eu]
+        return self._graph().preds[eu]
 
     def successors(self, eu: EU) -> List[EU]:
         """Units the given unit has an edge to."""
-        return [edge.dst for edge in self.edges if edge.src is eu]
+        return self._graph().succs[eu]
 
     def in_edges(self, eu: EU) -> List[Precedence]:
         """Precedence constraints ending at the unit."""
-        return [edge for edge in self.edges if edge.dst is eu]
+        return self._graph().in_edges[eu]
 
     def out_edges(self, eu: EU) -> List[Precedence]:
         """Precedence constraints leaving the unit."""
-        return [edge for edge in self.edges if edge.src is eu]
+        return self._graph().out_edges[eu]
 
     def sources(self) -> List[EU]:
         """Units with no predecessors (entry points of the graph)."""
-        targets = {edge.dst for edge in self.edges}
-        return [eu for eu in self.eus if eu not in targets]
+        return list(self._graph().sources)
 
     def sinks(self) -> List[EU]:
         """Units with no successors (exit points)."""
-        origins = {edge.src for edge in self.edges}
-        return [eu for eu in self.eus if eu not in origins]
+        return list(self._graph().sinks)
 
     def node_of(self, eu: EU) -> Optional[str]:
         """The processor an EU is statically assigned to."""
+        cache = self._cache
+        if cache is not None:
+            node = cache.node_of.get(eu)
+            if node is not None or eu in cache.node_of:
+                return node
         explicit = getattr(eu, "node_id", None)
         return explicit if explicit is not None else self.node_id
 
     def is_remote(self, edge: Precedence) -> bool:
         """Whether a precedence constraint crosses processors (§3.1)."""
+        cached = self._graph().is_remote.get(edge)
+        if cached is not None:
+            return cached
         return self.node_of(edge.src) != self.node_of(edge.dst)
+
+    def edge_index(self, edge: Precedence) -> int:
+        """Position of ``edge`` in :attr:`edges` (stable wire format of
+        remote precedence messages)."""
+        index = self._graph().edge_index.get(edge)
+        if index is not None:
+            return index
+        return self.edges.index(edge)
 
     def code_eus(self) -> List[CodeEU]:
         """The Code_EUs of this task, in insertion order."""
@@ -281,21 +411,10 @@ class Task:
         Raises ``ValueError`` if the graph has a cycle — a HEUG must be
         a *directed acyclic* graph.
         """
-        in_degree = {eu: 0 for eu in self.eus}
-        for edge in self.edges:
-            in_degree[edge.dst] += 1
-        frontier = [eu for eu in self.eus if in_degree[eu] == 0]
-        order: List[EU] = []
-        while frontier:
-            eu = frontier.pop(0)
-            order.append(eu)
-            for succ in self.successors(eu):
-                in_degree[succ] -= 1
-                if in_degree[succ] == 0:
-                    frontier.append(succ)
-        if len(order) != len(self.eus):
+        cache = self._graph()
+        if cache.topo_error:
             raise ValueError(f"task {self.name!r} has a precedence cycle")
-        return order
+        return list(cache.topo_order)
 
     def validate(self) -> "Task":
         """Check HEUG structural rules; returns self for chaining.
@@ -304,12 +423,20 @@ class Task:
         assignment (directly or via the task default), resources used by
         a Code_EU are local to its processor, and edge parameters do not
         collide on the destination side.
+
+        The outcome is cached: re-validating an unmodified task is a
+        flag test.  Any mutation through :meth:`add`/:meth:`precede`/
+        :meth:`chain` re-arms the check.
         """
+        if self._validated and self._cache is not None:
+            return self
         if not self.eus:
             raise ValueError(f"task {self.name!r} has no elementary units")
-        self.topological_order()
+        cache = self._graph()
+        if cache.topo_error:
+            raise ValueError(f"task {self.name!r} has a precedence cycle")
         for eu in self.code_eus():
-            node = self.node_of(eu)
+            node = cache.node_of[eu]
             if node is None:
                 raise ValueError(
                     f"{self.name}/{eu.name}: no processor assignment")
@@ -319,7 +446,7 @@ class Task:
                         f"{self.name}/{eu.name}: resource {resource.name} "
                         f"is on node {resource.node_id}, EU on {node}")
         for eu in self.eus:
-            params = [e.param for e in self.in_edges(eu) if e.param]
+            params = [e.param for e in cache.in_edges[eu] if e.param]
             if len(params) != len(set(params)):
                 raise ValueError(
                     f"{self.name}/{eu.name}: duplicate incoming parameter")

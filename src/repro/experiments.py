@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "E14": "bench_overhead.py",
     "E15": "bench_observability.py",
     "E16": "bench_parallel_campaign.py",
+    "E17": "bench_engine_hotpath.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

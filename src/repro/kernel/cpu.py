@@ -27,13 +27,13 @@ class Cpu:
 
     def __init__(self, sim: Simulator, tracer: Tracer, node_id: str,
                  context_switch_cost: int = 0, metrics=None):
-        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.metrics import resolve_metrics
 
         self.sim = sim
         self.tracer = tracer
         self.node_id = node_id
         self.context_switch_cost = int(context_switch_cost)
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics = resolve_metrics(metrics)
         self._m_dispatches = self.metrics.counter("cpu.dispatches")
         self._m_preemptions = self.metrics.counter("cpu.preemptions")
         self._m_context_switches = self.metrics.counter(
@@ -45,6 +45,10 @@ class Cpu:
         #: (dispatch time plus any context-switch overhead).
         self._progress_start = 0
         self._completion_token = 0
+        #: The completion timer of the current compute block; cancelled
+        #: (tombstoned in the event heap) when the block is interrupted,
+        #: so preemption-heavy runs do not drown in stale timer pops.
+        self._completion_timer = None
         self._ready_counter = 0
         #: Busy microseconds per accounting category.
         self.busy_time: Dict[str, int] = {}
@@ -160,11 +164,13 @@ class Cpu:
         self.tracer.record("cpu", "dispatch", node=self.node_id,
                            thread=thread.name, remaining=thread._remaining,
                            priority=thread.priority)
-        self.sim.call_in(finish_in, lambda: self._on_completion(token, thread))
+        self._completion_timer = self.sim.call_in(
+            finish_in, lambda: self._on_completion(token, thread))
 
     def _on_completion(self, token: int, thread: "KThread") -> None:
         if token != self._completion_token or thread is not self._running:
             return  # stale timer: the thread was preempted or withdrawn
+        self._completion_timer = None
         progressed = self.sim.now - self._progress_start
         self._account(thread._category, progressed)
         thread.cpu_time += progressed
@@ -182,6 +188,11 @@ class Cpu:
         """Bank the running thread's progress before it loses the CPU."""
         assert self._running is not None
         self._completion_token += 1  # invalidate the pending completion
+        timer = self._completion_timer
+        if timer is not None:
+            self._completion_timer = None
+            if not timer.triggered and not timer.cancelled:
+                timer.cancel()
         progressed = max(0, self.sim.now - self._progress_start)
         progressed = min(progressed, self._running._remaining)
         self._running._remaining -= progressed

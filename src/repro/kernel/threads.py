@@ -109,8 +109,11 @@ class KThread:
         #: Threshold elevation: set while the current compute block has
         #: started (see Cpu._selection_priority).
         self._pt_boosted = False
-        # Wait bookkeeping.
+        # Wait bookkeeping.  ``_wait_private`` marks a wait target the
+        # thread itself created (a Sleep timeout): safe to cancel into a
+        # heap tombstone on kill, unlike a shared WaitEvent target.
         self._wait_target: Optional[Event] = None
+        self._wait_private = False
         self._started = False
         self._suspended = False
         self.on_state_change: Optional[Callable[["KThread"], None]] = None
@@ -163,6 +166,10 @@ class KThread:
             return
         if self.state in (ThreadState.READY, ThreadState.RUNNING):
             self.node.cpu.withdraw(self)
+        target = self._wait_target
+        if (target is not None and self._wait_private
+                and not target.triggered and not target.cancelled):
+            target.cancel()
         self._wait_target = None
         self._set_state(ThreadState.KILLED)
         self.body = None
@@ -249,10 +256,12 @@ class KThread:
             self._set_state(ThreadState.BLOCKED)
             target = self.sim.timeout(request.delay)
             self._wait_target = target
+            self._wait_private = True
             target.add_callback(self._on_wait_done)
         elif isinstance(request, WaitEvent):
             self._set_state(ThreadState.BLOCKED)
             self._wait_target = request.event
+            self._wait_private = False
             request.event.add_callback(self._on_wait_done)
         elif isinstance(request, Event):
             # Yielding a bare engine event is allowed as shorthand.

@@ -116,7 +116,7 @@ class Link:
                  jitter_bound: int = 0,
                  rng: Optional[random.Random] = None, fifo: bool = True,
                  metrics=None):
-        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.metrics import resolve_metrics
 
         if base_latency < 0 or jitter_bound < 0 or size_cost_per_byte < 0:
             raise ValueError("latency parameters must be >= 0")
@@ -137,7 +137,7 @@ class Link:
         self.stats = {outcome: 0 for outcome in DeliveryOutcome}
         self._on_deliver: Optional[Callable[[Message], None]] = None
         self._accepts: Optional[Callable[[], bool]] = None
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics = resolve_metrics(metrics)
         self._m_sent = self.metrics.counter("network.messages_sent")
         self._m_delivered = self.metrics.counter("network.messages_delivered")
         self._m_dropped = self.metrics.counter("network.messages_dropped")

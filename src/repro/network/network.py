@@ -25,13 +25,13 @@ class Network:
     def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None,
                  base_latency: int = 50, size_cost_per_byte: int = 0,
                  jitter_bound: int = 0, seed: int = 0, metrics=None):
-        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.metrics import resolve_metrics
 
         self.sim = sim
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
         if self.tracer._clock is None:
             self.tracer.bind_clock(lambda: sim.now)
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics = resolve_metrics(metrics)
         self._m_no_route = self.metrics.counter("network.no_route")
         self.base_latency = base_latency
         self.size_cost_per_byte = size_cost_per_byte

@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     RunReport,
     aggregate_reports,
+    resolve_metrics,
 )
 from repro.sim.trace import JsonlStream, Tracer, TraceRecord, load_trace
 
@@ -34,6 +35,7 @@ __all__ = [
     "NullMetricsRegistry",
     "RunReport",
     "aggregate_reports",
+    "resolve_metrics",
     "JsonlStream",
     "Tracer",
     "TraceRecord",

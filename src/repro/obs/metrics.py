@@ -30,6 +30,7 @@ __all__ = [
     "NULL_METRICS",
     "RunReport",
     "aggregate_reports",
+    "resolve_metrics",
 ]
 
 #: Default histogram bucket upper bounds (microseconds): roughly
@@ -242,6 +243,44 @@ class NullMetricsRegistry:
 
 #: The process-wide disabled registry, shared by every uninstrumented run.
 NULL_METRICS = NullMetricsRegistry()
+
+
+def resolve_metrics(metrics: Any) -> Any:
+    """Resolve the uniform ``metrics=`` parameter contract.
+
+    Every instrumented component (:class:`~repro.system.HadesSystem`,
+    :class:`~repro.sim.engine.Simulator`,
+    :class:`~repro.network.network.Network`,
+    :class:`~repro.kernel.node.Node`,
+    :class:`~repro.core.dispatcher.Dispatcher`, ...) accepts
+
+    * ``None`` or ``False`` — disabled: the shared :data:`NULL_METRICS`
+      null-object registry (the near-zero-cost default),
+    * ``True`` — create a fresh :class:`MetricsRegistry`,
+    * a :class:`MetricsRegistry` / :class:`NullMetricsRegistry`
+      instance — used as given (the sharing case: one registry wired
+      through a whole deployment).
+
+    Any other object is accepted duck-typed for backward compatibility
+    with the old scattered per-class coercions (which treated every
+    non-``None`` value as a registry), but emits a
+    :class:`DeprecationWarning`: pass a real registry, ``True``, or
+    ``None``/``False`` instead.
+    """
+    if metrics is None or metrics is False:
+        return NULL_METRICS
+    if metrics is True:
+        return MetricsRegistry()
+    if isinstance(metrics, (MetricsRegistry, NullMetricsRegistry)):
+        return metrics
+    import warnings
+
+    warnings.warn(
+        f"metrics={metrics!r}: passing objects other than a "
+        f"MetricsRegistry, NullMetricsRegistry, bool or None is "
+        f"deprecated; the value is used as a duck-typed registry",
+        DeprecationWarning, stacklevel=3)
+    return metrics
 
 
 # --------------------------------------------------------------------------

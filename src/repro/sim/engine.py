@@ -13,6 +13,21 @@ The engine follows the classic event/process duality:
 The :class:`Simulator` owns virtual time (integer microseconds) and the
 pending-event heap.  Two events scheduled for the same instant fire in
 scheduling order, which keeps runs deterministic.
+
+Hot-path design (E17, ``benchmarks/bench_engine_hotpath.py``): the
+workload shape this engine serves is millions of tiny timed events with
+frequent cancellation, so constant factors dominate wall-clock.  Three
+mechanisms keep them down:
+
+* **``__slots__`` everywhere** — :class:`Event`, :class:`Timeout` and
+  :class:`Process` are slotted, halving per-event memory and speeding
+  attribute access on the resume path.
+* **Lazy tombstoning** — :meth:`Event.cancel` marks a scheduled entry
+  dead in place; the heap skips tombstones at pop instead of removing
+  and re-heapifying.  Cancellation is O(1), the skip is one flag test.
+* **Deferred naming** — the default ``timeout(delay)`` display name is
+  formatted on first access, not at construction, so the million-event
+  case never pays string interpolation.
 """
 
 from __future__ import annotations
@@ -51,15 +66,30 @@ class Event:
     An event starts *pending*; it is later *succeeded* with a value or
     *failed* with an exception.  Callbacks attached before the trigger
     run at trigger time; callbacks attached afterwards run immediately.
+    A pending event can instead be *cancelled*, after which it never
+    triggers (see :meth:`cancel`).
     """
+
+    __slots__ = ("sim", "_name", "_value", "_exception", "_callbacks",
+                 "_scheduled", "_cancelled")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
-        self.name = name
+        self._name = name
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._scheduled = False
+        self._cancelled = False
+
+    @property
+    def name(self) -> str:
+        """Display name used in errors and ``repr`` (may be lazy)."""
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     @property
     def triggered(self) -> bool:
@@ -69,12 +99,17 @@ class Event:
     @property
     def ok(self) -> bool:
         """Whether the event succeeded.  Only meaningful once triggered."""
-        return self.triggered and self._exception is None
+        return self._value is not _PENDING and self._exception is None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
 
     @property
     def value(self) -> Any:
         """The delivered value (raises if failed or pending)."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError(f"event {self.name!r} has not been triggered")
         if self._exception is not None:
             raise self._exception
@@ -82,24 +117,28 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self.name!r} already triggered")
         if self._scheduled:
             raise SimulationError(
                 f"event {self.name!r} is already scheduled to fire; "
                 f"it cannot be triggered manually")
+        if self._cancelled:
+            raise SimulationError(f"event {self.name!r} was cancelled")
         self._value = value
         self.sim._schedule_event(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to raise in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self.name!r} already triggered")
         if self._scheduled:
             raise SimulationError(
                 f"event {self.name!r} is already scheduled to fire; "
                 f"it cannot be triggered manually")
+        if self._cancelled:
+            raise SimulationError(f"event {self.name!r} was cancelled")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._value = None
@@ -107,11 +146,27 @@ class Event:
         self.sim._schedule_event(self)
         return self
 
+    def cancel(self) -> "Event":
+        """Cancel the event: it will never trigger and runs no callbacks.
+
+        A scheduled entry (e.g. a pending :class:`Timeout`) becomes a
+        *tombstone* in the event heap — skipped when popped, never
+        re-heapified — so cancellation is O(1) regardless of heap depth.
+        Cancelling an already-triggered event is an error; cancelling
+        twice is a no-op.  After cancellation, :meth:`succeed` and
+        :meth:`fail` raise :class:`SimulationError`.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(
+                f"cannot cancel already-triggered event {self.name!r}")
+        self._cancelled = True
+        return self
+
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event triggers.
 
         If the event already triggered *and was dispatched*, the callback
-        runs immediately.
+        runs immediately.  Callbacks added to a cancelled event never run.
         """
         if self._callbacks is None:  # already dispatched
             callback(self)
@@ -119,34 +174,71 @@ class Event:
             self._callbacks.append(callback)
 
     def _dispatch(self) -> None:
-        if self._callbacks is None:  # already dispatched: idempotent
+        callbacks = self._callbacks
+        if callbacks is None:  # already dispatched: idempotent
             return
-        callbacks, self._callbacks = self._callbacks, None
-        for callback in callbacks:
-            callback(self)
+        self._callbacks = None
+        # Fast-path the single-waiter case: one Process._resume waiter
+        # dominates real workloads.
+        if len(callbacks) == 1:
+            callbacks[0](self)
+        else:
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:
-        state = "triggered" if self.triggered else "pending"
+        if self._cancelled:
+            state = "cancelled"
+        else:
+            state = "triggered" if self._value is not _PENDING else "pending"
         return f"<{type(self).__name__} {self.name!r} {state}>"
 
 
 class Timeout(Event):
     """An event that triggers automatically ``delay`` microseconds from now."""
 
+    __slots__ = ("_scheduled_value", "_delay")
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None,
                  name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name or f"timeout({delay})")
+        # Inlined Event.__init__ plus scheduling: this constructor is
+        # the hottest allocation site in the engine.
+        self.sim = sim
+        self._name = name
+        self._value = _PENDING
+        self._exception = None
+        self._callbacks = []
+        self._scheduled = False
+        self._cancelled = False
         self._scheduled_value = value
+        self._delay = delay
         sim._schedule_event(self, delay)
+
+    @property
+    def name(self) -> str:
+        """Display name; the ``timeout(delay)`` default is formatted lazily."""
+        return self._name or f"timeout({self._delay})"
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     def _dispatch(self) -> None:
         # The value becomes observable (and `triggered` true) only when
         # the timeout actually fires, not at construction.
         if self._value is _PENDING:
             self._value = self._scheduled_value
-        super()._dispatch()
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        self._callbacks = None
+        if len(callbacks) == 1:
+            callbacks[0](self)
+        else:
+            for callback in callbacks:
+                callback(self)
 
 
 class AllOf(Event):
@@ -155,6 +247,8 @@ class AllOf(Event):
     Its value is the list of child values in construction order.  Fails
     as soon as any child fails.
     """
+
+    __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, "all_of")
@@ -183,6 +277,8 @@ class AnyOf(Event):
     Its value is a ``(index, value)`` pair identifying which child fired
     first.  Fails if the first child to trigger fails.
     """
+
+    __slots__ = ("_children",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, "any_of")
@@ -218,6 +314,8 @@ class Process(Event):
     *successful* ``None`` result so that killing is not an error.
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_alive")
+
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = ""):
         super().__init__(sim, name or getattr(generator, "__name__", "process"))
@@ -226,7 +324,7 @@ class Process(Event):
         self._alive = True
         # Start the process at the current instant, but asynchronously:
         # the creator continues first.
-        start = Event(sim, f"start:{self.name}")
+        start = Event(sim, "start")
         start.add_callback(self._resume)
         start.succeed()
 
@@ -250,7 +348,7 @@ class Process(Event):
     def _throw_soon(self, exc: BaseException) -> None:
         # Deliver via an immediate event so the thrower keeps running and
         # delivery order stays deterministic.
-        bomb = Event(self.sim, f"throw:{self.name}")
+        bomb = Event(self.sim, "throw")
         self._detach_wait()
         bomb.add_callback(lambda _evt: self._resume_throw(exc))
         bomb.succeed()
@@ -280,16 +378,18 @@ class Process(Event):
             self._wait_for(next_event)
 
     def _resume(self, event: Event) -> None:
-        if not self._alive or (self._waiting_on is not None
-                               and event is not self._waiting_on):
+        waiting_on = self._waiting_on
+        if not self._alive or (waiting_on is not None
+                               and event is not waiting_on):
             return
         self._waiting_on = None
         try:
             if event._exception is not None:
                 next_event = self._generator.throw(event._exception)
             else:
+                value = event._value
                 next_event = self._generator.send(
-                    None if event._value is _PENDING else event._value)
+                    None if value is _PENDING else value)
         except StopIteration as stop:
             self._finish_ok(stop.value)
         except ProcessKilled:
@@ -297,7 +397,13 @@ class Process(Event):
         except BaseException as error:
             self._finish_fail(error)
         else:
-            self._wait_for(next_event)
+            # Fast path: the yielded object is a plain Event (isinstance
+            # is checked on the slow path only for the error message).
+            if isinstance(next_event, Event):
+                self._waiting_on = next_event
+                next_event.add_callback(self._resume)
+            else:
+                self._wait_for(next_event)
 
     def _wait_for(self, event: Event) -> None:
         if not isinstance(event, Event):
@@ -326,22 +432,30 @@ class Process(Event):
 class Simulator:
     """Owner of virtual time and the pending-event schedule.
 
-    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) enables engine
-    instrumentation: events scheduled/fired counters and a heap-depth
-    gauge.  Left at None the updates hit shared no-op metric objects.
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`, ``True`` to
+    create one, or ``None``/``False`` for the no-op default — see
+    :func:`repro.obs.resolve_metrics`) enables engine instrumentation:
+    events scheduled/fired/cancelled counters and a heap-depth gauge.
+    With metrics disabled the hot path skips the updates entirely
+    behind one cached boolean.
     """
 
     def __init__(self, metrics=None):
-        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.metrics import resolve_metrics
 
         self.now: int = 0
         self._heap: List[Tuple[int, int, Event]] = []
         self._sequence = 0
         self._uncaught: List[BaseException] = []
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics = resolve_metrics(metrics)
         self._m_scheduled = self.metrics.counter("engine.events_scheduled")
         self._m_fired = self.metrics.counter("engine.events_fired")
+        self._m_cancelled_skips = self.metrics.counter(
+            "engine.cancelled_skips")
         self._m_heap_depth = self.metrics.gauge("engine.heap_depth")
+        # Cached flag keeping the per-event metric updates off the hot
+        # path when metrics are disabled (the default).
+        self._instrumented = self.metrics.enabled
 
     # -- event factories ------------------------------------------------
 
@@ -371,8 +485,9 @@ class Simulator:
         event._scheduled = True
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
-        self._m_scheduled.inc()
-        self._m_heap_depth.set(len(self._heap))
+        if self._instrumented:
+            self._m_scheduled.inc()
+            self._m_heap_depth.set(len(self._heap))
 
     def call_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute simulated ``time`` (>= now)."""
@@ -393,20 +508,36 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (not yet dispatched) event triggers."""
+        """Number of scheduled (not yet dispatched) event triggers.
+
+        Includes cancelled entries whose tombstones have not been
+        popped yet — the heap is never compacted eagerly.
+        """
         return len(self._heap)
 
     def step(self) -> bool:
-        """Dispatch the next scheduled event.  Returns False when idle."""
-        if not self._heap:
-            return False
-        time, _seq, event = heapq.heappop(self._heap)
-        if time < self.now:
-            raise SimulationError("event scheduled in the past")
-        self.now = time
-        self._m_fired.inc()
-        event._dispatch()
-        return True
+        """Dispatch the next scheduled event.  Returns False when idle.
+
+        Tombstones (cancelled entries) are skipped: popping one advances
+        virtual time to its instant — timestamps stay monotone exactly
+        as if the entry had fired with no observable effect — but runs
+        no callbacks.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if time < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = time
+            if event._cancelled:
+                if self._instrumented:
+                    self._m_cancelled_skips.inc()
+                continue
+            if self._instrumented:
+                self._m_fired.inc()
+            event._dispatch()
+            return True
+        return False
 
     def run(self, until: Optional[int] = None,
             until_event: Optional[Event] = None) -> Any:
@@ -417,14 +548,44 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past")
-        while self._heap:
+        heap = self._heap
+        heappop = heapq.heappop
+        if until is None and until_event is None:
+            # Tight drain loop: the common benchmark/experiment shape.
+            if self._instrumented:
+                while self._heap:
+                    self.step()
+            else:
+                while heap:
+                    time, _seq, event = heappop(heap)
+                    if time < self.now:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = time
+                    if not event._cancelled:
+                        event._dispatch()
+            return None
+        while heap:
             if until_event is not None and until_event.triggered:
                 return until_event.value
-            next_time = self._heap[0][0]
+            next_time = heap[0][0]
             if until is not None and next_time > until:
                 self.now = until
                 return None
-            self.step()
+            # One heap entry per iteration (not step(), which skips
+            # tombstones until it dispatches something and could
+            # overshoot ``until``): the bound is re-checked against the
+            # new head after every tombstone pop.
+            time, _seq, event = heappop(heap)
+            if time < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = time
+            if event._cancelled:
+                if self._instrumented:
+                    self._m_cancelled_skips.inc()
+                continue
+            if self._instrumented:
+                self._m_fired.inc()
+            event._dispatch()
         if until_event is not None and until_event.triggered:
             return until_event.value
         if until is not None:

@@ -6,8 +6,14 @@ and the invariant checks in the test suite: rather than trusting the
 dispatcher's own bookkeeping, tests replay the trace and verify the
 paper's runnable/running rules against it.
 
-The tracer scales to long runs three ways:
+The tracer scales to long runs four ways:
 
+* **Deferred formatting** — :meth:`record` stores the raw fields of a
+  slotted :class:`TraceRecord`; all string interpolation (human dump,
+  JSONL encoding) happens at render/export time, never on the hot path.
+* **Category filtering** — ``Tracer(categories={...})`` restricts
+  recording to the named categories; a filtered call pays one frozenset
+  membership test and returns ``None`` (``filtered`` counts the drops).
 * **Bounded ring buffer** — ``Tracer(maxlen=...)`` keeps only the most
   recent records (post-mortem tail), dropping the oldest; ``dropped``
   counts evictions.
@@ -15,16 +21,16 @@ The tracer scales to long runs three ways:
   are O(matching records), not O(trace length).  The index is built
   lazily on the first category query and maintained incrementally
   afterwards, so record-heavy runs that never query pay nothing.
-* **Streaming JSONL export** — :meth:`stream_jsonl` writes records to
-  disk as they are emitted, so a bounded tracer still produces a
-  complete on-disk trace.
+
+**Streaming JSONL export** — :meth:`Tracer.stream_jsonl` writes records
+to disk as they are emitted, so a bounded tracer still produces a
+complete on-disk trace.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
 from itertools import islice
 from typing import (
     Any,
@@ -32,6 +38,7 @@ from typing import (
     Deque,
     Dict,
     IO,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -39,7 +46,6 @@ from typing import (
 )
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One timestamped fact about the execution.
 
@@ -47,12 +53,37 @@ class TraceRecord:
     ``"kernel"``, ``"network"``, ...), ``event`` the specific occurrence
     (``"thread_start"``, ``"deadline_miss"``, ...), and ``details`` a
     free-form payload.
+
+    Records are created on the simulation hot path, so the class is
+    slotted and its constructor does nothing but store the four fields
+    (it is a tuple with names, not a dataclass).  Treat instances as
+    immutable; formatting is deferred to :meth:`__str__` and the JSONL
+    exporters.
     """
 
-    time: int
-    category: str
-    event: str
-    details: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "event", "details")
+
+    def __init__(self, time: int, category: str, event: str,
+                 details: Optional[Dict[str, Any]] = None):
+        self.time = time
+        self.category = category
+        self.event = event
+        self.details = {} if details is None else details
+
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is TraceRecord:
+            return (self.time == other.time
+                    and self.category == other.category
+                    and self.event == other.event
+                    and self.details == other.details)
+        return NotImplemented
+
+    __hash__ = None  # mutable payload, like the frozen-dataclass-with-dict
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time={self.time!r}, "
+                f"category={self.category!r}, event={self.event!r}, "
+                f"details={self.details!r})")
 
     def __str__(self) -> str:
         payload = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
@@ -133,7 +164,8 @@ class Tracer:
     """Collects :class:`TraceRecord` instances in emission order."""
 
     def __init__(self, clock: Optional[Callable[[], int]] = None,
-                 maxlen: Optional[int] = None, index: bool = True):
+                 maxlen: Optional[int] = None, index: bool = True,
+                 categories: Optional[Iterable[str]] = None):
         if maxlen is not None and maxlen <= 0:
             raise ValueError(f"maxlen must be positive, got {maxlen}")
         self._records: Any = (deque(maxlen=maxlen) if maxlen is not None
@@ -143,6 +175,13 @@ class Tracer:
         self._listeners: List[Callable[[TraceRecord], None]] = []
         #: Records evicted by the ring buffer so far.
         self.dropped = 0
+        #: Records dropped by the category filter so far.
+        self.filtered = 0
+        # None means "record everything"; otherwise a frozenset of the
+        # categories kept.  Checked first in record() so a filtered
+        # category costs one membership test, nothing else.
+        self._categories: Optional[frozenset] = (
+            None if categories is None else frozenset(categories))
         self._seq = 0          # sequence number of the next record
         self._first_seq = 0    # sequence number of the oldest kept record
         self._index_enabled = index
@@ -157,6 +196,22 @@ class Tracer:
         """Attach the time source used when ``record`` omits a time."""
         self._clock = clock
 
+    @property
+    def categories(self) -> Optional[frozenset]:
+        """The category allow-list (``None`` records everything)."""
+        return self._categories
+
+    def set_categories(self,
+                       categories: Optional[Iterable[str]]) -> "Tracer":
+        """Restrict future recording to ``categories`` (``None`` = all).
+
+        Already-held records are unaffected.  Returns the tracer, so the
+        call chains off the constructor.
+        """
+        self._categories = (None if categories is None
+                            else frozenset(categories))
+        return self
+
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener`` synchronously for every new record."""
         self._listeners.append(listener)
@@ -169,8 +224,16 @@ class Tracer:
             pass
 
     def record(self, category: str, event: str, time: Optional[int] = None,
-               **details: Any) -> TraceRecord:
-        """Append a record; time defaults to the bound clock's now."""
+               **details: Any) -> Optional[TraceRecord]:
+        """Append a record; time defaults to the bound clock's now.
+
+        Returns ``None`` (and counts in :attr:`filtered`) when
+        ``category`` is excluded by the filter — the near-free path.
+        """
+        allowed = self._categories
+        if allowed is not None and category not in allowed:
+            self.filtered += 1
+            return None
         if time is None:
             if self._clock is None:
                 raise RuntimeError("tracer has no bound clock")
@@ -186,8 +249,9 @@ class Tracer:
             self._by_cat_event.setdefault((category, event),
                                           deque()).append((seq, entry))
             self._by_cat.setdefault(category, deque()).append((seq, entry))
-        for listener in self._listeners:
-            listener(entry)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(entry)
         return entry
 
     def __len__(self) -> int:

@@ -23,7 +23,7 @@ from repro.core.tnetwork import install_tnetwork
 from repro.kernel.clocks import HardwareClock
 from repro.kernel.node import Node
 from repro.network.network import Network
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry, RunReport
+from repro.obs.metrics import RunReport, resolve_metrics
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -44,14 +44,15 @@ class HadesSystem:
                  abort_mode: str = "kill",
                  node_kwargs: Optional[Dict[str, Any]] = None,
                  metrics: Any = None,
-                 trace_maxlen: Optional[int] = None):
+                 trace_maxlen: Optional[int] = None,
+                 trace_categories: Optional[Iterable[str]] = None):
         # ``metrics`` accepts a MetricsRegistry, True (create one), or
-        # None/False (disabled — the near-zero-cost default).
-        if metrics is True:
-            metrics = MetricsRegistry()
-        self.metrics = metrics if metrics else NULL_METRICS
+        # None/False (disabled — the near-zero-cost default); see
+        # :func:`repro.obs.resolve_metrics` for the full contract.
+        self.metrics = resolve_metrics(metrics)
         self.sim = Simulator(metrics=self.metrics)
-        self.tracer = Tracer(lambda: self.sim.now, maxlen=trace_maxlen)
+        self.tracer = Tracer(lambda: self.sim.now, maxlen=trace_maxlen,
+                             categories=trace_categories)
         self.monitor = ExecutionMonitor()
         self.network = Network(self.sim, self.tracer,
                                base_latency=network_latency,

@@ -1,0 +1,172 @@
+"""The stable public facade, the metrics= contract, and trace filtering."""
+
+import io
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    resolve_metrics,
+)
+from repro.sim.trace import TraceRecord, Tracer
+from repro.system import HadesSystem
+
+
+class TestFacade:
+    def test_all_names_resolve(self):
+        missing = [name for name in repro.__all__
+                   if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_core_surface_is_exported(self):
+        for name in ("HadesSystem", "Task", "CodeEU", "InvEU",
+                     "EUAttributes", "Periodic", "DispatcherCosts",
+                     "EDFScheduler", "RMScheduler", "Campaign",
+                     "MetricsRegistry", "resolve_metrics", "Tracer"):
+            assert name in repro.__all__, name
+
+    def test_facade_classes_are_canonical(self):
+        # The facade re-exports, it does not wrap: identity must hold
+        # so isinstance checks work across import paths.
+        from repro.core.heug import Task as deep_task
+        from repro.faults import Campaign as deep_campaign
+        assert repro.Task is deep_task
+        assert repro.Campaign is deep_campaign
+
+    def test_minimal_deployment_through_facade_only(self):
+        system = repro.HadesSystem(node_ids=["n0"],
+                                   costs=repro.DispatcherCosts.zero())
+        task = repro.Task("t", deadline=1_000, node_id="n0")
+        task.code_eu("a", wcet=10)
+        inst = system.activate(task.validate())
+        system.run()
+        assert inst.response_time == 10
+
+
+class TestResolveMetrics:
+    def test_none_and_false_resolve_to_shared_null(self):
+        assert resolve_metrics(None) is NULL_METRICS
+        assert resolve_metrics(False) is NULL_METRICS
+
+    def test_true_creates_fresh_registry(self):
+        first = resolve_metrics(True)
+        second = resolve_metrics(True)
+        assert isinstance(first, MetricsRegistry)
+        assert first is not second
+
+    def test_registries_pass_through(self):
+        registry = MetricsRegistry()
+        assert resolve_metrics(registry) is registry
+        null = NullMetricsRegistry()
+        assert resolve_metrics(null) is null
+
+    def test_duck_typed_object_warns_deprecation(self):
+        class Homemade:
+            enabled = True
+
+            def counter(self, name):
+                raise NotImplementedError
+
+        homemade = Homemade()
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_metrics(homemade)
+        assert resolved is homemade
+
+    def test_every_subsystem_accepts_bool_metrics(self):
+        system = HadesSystem(node_ids=["n0"], metrics=True)
+        assert isinstance(system.metrics, MetricsRegistry)
+        assert system.sim.metrics is system.metrics
+        assert system.nodes["n0"].cpu.metrics is system.metrics
+        assert system.network.metrics is system.metrics
+        assert system.dispatcher.metrics is system.metrics
+
+        disabled = HadesSystem(node_ids=["n0"], metrics=False)
+        assert disabled.metrics is NULL_METRICS
+        assert disabled.sim.metrics is NULL_METRICS
+
+
+class TestTraceFiltering:
+    def test_filtered_category_returns_none_and_counts(self):
+        tracer = Tracer(clock=lambda: 0, categories={"keep"})
+        kept = tracer.record("keep", "ev", x=1)
+        dropped = tracer.record("drop", "ev", x=2)
+        assert kept is not None and dropped is None
+        assert len(tracer) == 1
+        assert tracer.filtered == 1
+        assert tracer.records[0].category == "keep"
+
+    def test_filtered_records_skip_listeners_and_index(self):
+        tracer = Tracer(clock=lambda: 0, categories={"keep"})
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.record("drop", "ev")
+        tracer.record("keep", "ev")
+        assert [entry.category for entry in seen] == ["keep"]
+        assert tracer.count("drop") == 0
+        assert tracer.count("keep") == 1
+
+    def test_set_categories_chains_and_reopens(self):
+        tracer = Tracer(clock=lambda: 0).set_categories({"a"})
+        assert tracer.categories == frozenset({"a"})
+        tracer.record("b", "ev")
+        assert len(tracer) == 0
+        tracer.set_categories(None)
+        tracer.record("b", "ev")
+        assert len(tracer) == 1
+
+    def test_system_trace_categories_passthrough(self):
+        system = HadesSystem(node_ids=["n0"],
+                             trace_categories={"dispatcher"})
+        task = repro.Task("t", deadline=1_000, node_id="n0")
+        task.code_eu("a", wcet=10)
+        system.activate(task)
+        system.run()
+        categories = {entry.category for entry in system.tracer}
+        assert categories == {"dispatcher"}
+        assert system.tracer.filtered > 0
+
+    def test_filtered_export_matches_select_of_unfiltered(self, tmp_path):
+        # Same scenario traced fully and with a filter: the filtered
+        # JSONL must be byte-identical to the full trace restricted to
+        # the allowed category.
+        def run(categories):
+            system = HadesSystem(node_ids=["n0"],
+                                 trace_categories=categories)
+            task = repro.Task("t", deadline=1_000, node_id="n0")
+            task.code_eu("a", wcet=10)
+            system.activate(task)
+            system.run()
+            return system
+
+        full = run(None)
+        filtered = run({"cpu"})
+        full_path = tmp_path / "full.jsonl"
+        filtered_path = tmp_path / "filtered.jsonl"
+        full.tracer.to_jsonl(full_path)
+        filtered.tracer.to_jsonl(filtered_path)
+        full_cpu_lines = [line for line in
+                          full_path.read_text().splitlines()
+                          if json.loads(line)["category"] == "cpu"]
+        assert filtered_path.read_text().splitlines() == full_cpu_lines
+
+
+class TestTraceRecordCompat:
+    def test_equality_and_repr_match_old_dataclass_shape(self):
+        one = TraceRecord(5, "cpu", "dispatch", {"thread": "x"})
+        two = TraceRecord(5, "cpu", "dispatch", {"thread": "x"})
+        other = TraceRecord(6, "cpu", "dispatch", {"thread": "x"})
+        assert one == two
+        assert one != other
+        assert repr(one) == ("TraceRecord(time=5, category='cpu', "
+                             "event='dispatch', details={'thread': 'x'})")
+        assert str(one) == "[         5] cpu/dispatch thread=x"
+
+    def test_slots_and_default_details(self):
+        entry = TraceRecord(1, "c", "e")
+        assert entry.details == {}
+        assert not hasattr(entry, "__dict__")

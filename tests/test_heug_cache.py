@@ -1,0 +1,210 @@
+"""Cached per-task graph structures: correctness under mutation.
+
+The dispatcher optimization caches each Task's derived structures
+(topological order, adjacency, remote-edge classification, validation)
+and invalidates them on ``add``/``precede``/``chain``.  These tests pin
+the contract: a query after any mutation sequence must equal the same
+query on a freshly built identical graph.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConditionVariable, DispatcherCosts, EUAttributes, Task
+from repro.core.heug import CodeEU
+from repro.system import HadesSystem
+
+
+def build_random_dag(seed, steps):
+    """Grow two identical tasks with an interleaved add/precede script.
+
+    ``mirror`` receives the same mutations as ``task`` but is rebuilt
+    from scratch for every comparison — it never has a warm cache, so
+    it is the uncached reference.
+    """
+    rng = random.Random(seed)
+    task = Task(f"t{seed}", node_id="n0")
+    script = []
+    names = iter(f"e{i}" for i in range(1000))
+    for _ in range(steps):
+        if not task.eus or rng.random() < 0.4:
+            name = next(names)
+            node = rng.choice(("n0", "n1", None))
+            script.append(("add", name, node))
+            task.code_eu(name, wcet=10, node_id=node)
+        else:
+            src, dst = rng.sample(task.eus, k=1)[0], rng.choice(task.eus)
+            if src is not dst:
+                script.append(("precede", src.name, dst.name))
+                task.precede(src, dst)
+        # Warm the cache between mutations so invalidation is what is
+        # actually under test, not first-build correctness.
+        task.predecessors(rng.choice(task.eus))
+        try:
+            task.topological_order()
+        except ValueError:
+            pass
+    return task, script
+
+
+def replay(script, seed):
+    fresh = Task(f"t{seed}", node_id="n0")
+    by_name = {}
+    for op, *args in script:
+        if op == "add":
+            name, node = args
+            by_name[name] = fresh.code_eu(name, wcet=10, node_id=node)
+        else:
+            src, dst = args
+            fresh.precede(by_name[src], by_name[dst])
+    return fresh
+
+
+class TestCacheInvalidation:
+    @given(seed=st.integers(0, 10_000), steps=st.integers(1, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_queries_match_fresh_graph_after_mutations(self, seed, steps):
+        task, script = build_random_dag(seed, steps)
+        fresh = replay(script, seed)
+        assert [eu.name for eu in task.eus] == [eu.name for eu in fresh.eus]
+        for cached_eu, fresh_eu in zip(task.eus, fresh.eus):
+            assert ([e.name for e in task.predecessors(cached_eu)]
+                    == [e.name for e in fresh.predecessors(fresh_eu)])
+            assert ([e.name for e in task.successors(cached_eu)]
+                    == [e.name for e in fresh.successors(fresh_eu)])
+        assert ([e.name for e in task.sources()]
+                == [e.name for e in fresh.sources()])
+        assert ([e.name for e in task.sinks()]
+                == [e.name for e in fresh.sinks()])
+        try:
+            cached_topo = [e.name for e in task.topological_order()]
+        except ValueError:
+            with pytest.raises(ValueError):
+                fresh.topological_order()
+        else:
+            assert cached_topo == [e.name for e in fresh.topological_order()]
+        for cached_edge, fresh_edge in zip(task.edges, fresh.edges):
+            assert (task.is_remote(cached_edge)
+                    == fresh.is_remote(fresh_edge))
+            assert (task.edge_index(cached_edge)
+                    == fresh.edge_index(fresh_edge))
+
+    def test_add_invalidates_topology(self):
+        task = Task("t", node_id="n0")
+        first = task.code_eu("a", wcet=10)
+        assert [e.name for e in task.topological_order()] == ["a"]
+        second = task.code_eu("b", wcet=10)
+        task.precede(second, first)  # b before a
+        assert [e.name for e in task.topological_order()] == ["b", "a"]
+
+    def test_precede_invalidates_adjacency(self):
+        task = Task("t", node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=10)
+        assert task.successors(a) == []
+        task.precede(a, b)
+        assert task.successors(a) == [b]
+        assert task.predecessors(b) == [a]
+
+    def test_cycle_detected_after_warm_cache(self):
+        task = Task("t", node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=10)
+        task.precede(a, b)
+        assert len(task.topological_order()) == 2
+        task.precede(b, a)
+        with pytest.raises(ValueError):
+            task.topological_order()
+
+    def test_invalidate_cache_is_chainable_and_resets_validation(self):
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=10)
+        assert task.validate() is task
+        assert task.invalidate_cache() is task
+        # Re-validation after explicit invalidation still succeeds.
+        assert task.validate() is task
+
+
+class TestBuilderIdiom:
+    def test_chain_returns_task_and_units_return_units(self):
+        task = Task("t", node_id="n0")
+        a = task.code_eu("a", wcet=10)
+        b = task.code_eu("b", wcet=10)
+        assert isinstance(a, CodeEU) and a.task is task
+        edge = task.precede(a, b)
+        assert edge.src is a and edge.dst is b
+        assert task.chain(a, b) is task
+        assert task.validate() is task
+
+    def test_one_expression_heug(self):
+        task = Task("t", deadline=1_000, node_id="n0")
+        built = task.chain(
+            task.code_eu("a", wcet=10),
+            task.code_eu("b", wcet=10),
+            task.code_eu("c", wcet=10),
+        ).validate()
+        assert built is task
+        assert [e.name for e in task.topological_order()] == ["a", "b", "c"]
+
+
+class TestSignalDedup:
+    def test_set_then_clear_applies_only_clear(self):
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        flag = ConditionVariable("flag")
+
+        def flicker(ctx):
+            ctx.signal(flag, True)
+            ctx.signal(flag, False)
+
+        observed = []
+        flag.watch(lambda cv: observed.append("set"))
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=10, action=flicker)
+        system.activate(task)
+        system.run()
+        # Last write wins: the unit ends with exactly one clear applied
+        # and watchers never observe the intermediate set.
+        assert observed == []
+        assert not flag.is_set
+        assert flag.set_count == 0
+        assert flag.clear_count == 1
+
+    def test_clear_then_set_applies_only_set(self):
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        flag = ConditionVariable("flag", initially=True)
+
+        def flicker(ctx):
+            ctx.signal(flag, False)
+            ctx.signal(flag, True)
+
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=10, action=flicker)
+        system.activate(task)
+        system.run()
+        assert flag.is_set
+        assert flag.set_count == 1
+        assert flag.clear_count == 0
+
+    def test_distinct_condvars_keep_insertion_order(self):
+        applied = []
+
+        class Probe(ConditionVariable):
+            def set(self):
+                applied.append(self.name)
+                super().set()
+
+        system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts.zero())
+        one, two = Probe("one"), Probe("two")
+
+        def action(ctx):
+            ctx.signal(one)
+            ctx.signal(two)
+            ctx.signal(one)  # re-signal must not reorder
+
+        task = Task("t", node_id="n0")
+        task.code_eu("a", wcet=10, action=action)
+        system.activate(task)
+        system.run()
+        assert applied == ["one", "two"]
