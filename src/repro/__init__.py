@@ -54,7 +54,10 @@ from repro.core.heug import (
 )
 from repro.core.attributes import Aperiodic, Periodic, Sporadic
 from repro.faults import Campaign, CampaignResult, FaultPlan, random_plan
+from repro.obs.forensics import forensics_report
 from repro.obs.metrics import MetricsRegistry, RunReport, resolve_metrics
+from repro.obs.spans import SpanForest, critical_path, decompose, reconstruct
+from repro.obs.timeline import build_timeline, write_timeline
 from repro.scheduling import (
     DMScheduler,
     EDFScheduler,
@@ -106,5 +109,13 @@ __all__ = [
     "Tracer",
     "TraceRecord",
     "load_trace",
+    # causal spans, forensics, timeline export
+    "SpanForest",
+    "reconstruct",
+    "critical_path",
+    "decompose",
+    "forensics_report",
+    "build_timeline",
+    "write_timeline",
     "__version__",
 ]

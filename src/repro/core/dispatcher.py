@@ -171,6 +171,9 @@ class TaskInstance:
             if task.deadline is not None else None)
         self.invoked_by = invoked_by
         self.state = InstanceState.ACTIVE
+        #: Stable correlation id used across trace records: ``task#seq``
+        #: (the prefix of every EU instance's ``qualified_name``).
+        self.qualified_name = f"{task.name}#{seq}"
         self.eu_instances: Dict[EU, EUInstance] = {
             eu: EUInstance(eu, self, dispatcher) for eu in task.eus}
         self.remaining = len(task.eus)
@@ -351,6 +354,7 @@ class Dispatcher:
         instance = TaskInstance(task, seq, now, self, invoked_by)
         self._instances[instance.key] = instance
         self.tracer.record("dispatcher", "activate", task=task.name, seq=seq,
+                           activation_id=instance.qualified_name,
                            deadline=instance.abs_deadline)
         self._m_activations.inc()
 
@@ -556,6 +560,9 @@ class Dispatcher:
         if unset:
             if not eui._watching_condvars:
                 eui._watching_condvars = True
+                self.tracer.record("dispatcher", "eu_blocked",
+                                   eu=eui.qualified_name, cause="condvar",
+                                   condvars=[cv.name for cv in unset])
                 for condvar in eu.wait_for:
                     condvar.watch(lambda _cv, e=eui: self._evaluate(e))
             return
@@ -565,6 +572,9 @@ class Dispatcher:
             if eui.earliest < NEVER and \
                     eui._earliest_timer_target != eui.earliest:
                 eui._earliest_timer_target = eui.earliest
+                self.tracer.record("dispatcher", "eu_blocked",
+                                   eu=eui.qualified_name, cause="earliest",
+                                   until=eui.earliest)
                 self.sim.call_at(eui.earliest,
                                  lambda e=eui: self._evaluate(e))
             return
@@ -582,6 +592,8 @@ class Dispatcher:
             if not gate(eui):
                 if eui not in self._gated:
                     self._gated.append(eui)
+                    self.tracer.record("dispatcher", "eu_blocked",
+                                       eu=eui.qualified_name, cause="gate")
                 return
 
         for resource, mode in eu.resources:
@@ -590,6 +602,12 @@ class Dispatcher:
                 waiters = self._resource_waiters.setdefault(resource, [])
                 if eui not in waiters:
                     waiters.append(eui)
+                    self.tracer.record(
+                        "dispatcher", "eu_blocked",
+                        eu=eui.qualified_name, cause="resource",
+                        resource=resource.name,
+                        holders=[getattr(h, "qualified_name", str(h))
+                                 for h in resource.holders])
                 return
 
         # All-or-nothing grant.
@@ -781,6 +799,13 @@ class Dispatcher:
         if edge.param is not None:
             dst.inputs[edge.param] = value
         dst.preds_remaining -= 1
+        # The causal record of the HEUG DAG: span reconstruction reads
+        # the per-activation precedence structure out of these.
+        self.tracer.record("dispatcher", "edge_satisfied",
+                           activation_id=instance.qualified_name,
+                           edge=instance.task.edge_index(edge),
+                           src=edge.src.name, dst=edge.dst.name,
+                           remaining=dst.preds_remaining)
         if dst.preds_remaining == 0:
             self._evaluate(dst)
 
@@ -808,7 +833,9 @@ class Dispatcher:
         else:
             interface.send(dst_node, payload, kind="heug-edge")
         self.tracer.record("dispatcher", "remote_edge_sent",
-                           eu=eui.qualified_name, dst=dst_node)
+                           eu=eui.qualified_name, dst=dst_node,
+                           activation_id=instance.qualified_name,
+                           edge=edge_index)
         # §3.2.1 event (v): watch for network omission failures by
         # observing the remote precedence constraint.
         bound = (self.network.max_message_delay(64)
@@ -936,7 +963,9 @@ class Dispatcher:
                                 remaining_eus=0)
         self.tracer.record("dispatcher", "instance_done",
                            task=instance.task.name, seq=instance.seq,
-                           response=instance.response_time)
+                           activation_id=instance.qualified_name,
+                           response=instance.response_time,
+                           missed=instance.missed_deadline)
         self._m_instances_done.inc()
         if not instance.done_event.triggered:
             instance.done_event.succeed("done")
@@ -949,6 +978,7 @@ class Dispatcher:
         self._cancel_timer(instance._deadline_timer)
         self.tracer.record("dispatcher", "instance_abort",
                            task=instance.task.name, seq=instance.seq,
+                           activation_id=instance.qualified_name,
                            reason=reason)
         self._m_instances_aborted.inc()
         for eui in instance.eu_instances.values():
@@ -974,6 +1004,11 @@ class Dispatcher:
                             instance.task.name, instance.seq,
                             deadline=instance.abs_deadline,
                             remaining_eus=instance.remaining)
+        self.tracer.record("dispatcher", "deadline_miss",
+                           task=instance.task.name, seq=instance.seq,
+                           activation_id=instance.qualified_name,
+                           deadline=instance.abs_deadline,
+                           remaining_eus=instance.remaining)
         if self.on_deadline_miss == "abort":
             self.abort_instance(instance, reason="deadline_miss")
 

@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "E15": "bench_observability.py",
     "E16": "bench_parallel_campaign.py",
     "E17": "bench_engine_hotpath.py",
+    "E18": "bench_forensics.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

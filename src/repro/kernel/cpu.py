@@ -133,7 +133,8 @@ class Cpu:
                 preempted._set_state(ThreadState.READY)
                 self._ready.append(preempted)
                 self.tracer.record("cpu", "preempt", node=self.node_id,
-                                   thread=preempted.name, by=challenger.name)
+                                   thread=preempted.name, by=challenger.name,
+                                   by_priority=challenger.priority)
                 self._m_preemptions.inc()
             else:
                 return

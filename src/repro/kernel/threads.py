@@ -257,11 +257,19 @@ class KThread:
             target = self.sim.timeout(request.delay)
             self._wait_target = target
             self._wait_private = True
+            self.node.tracer.record("thread", "block",
+                                    node=self.node.node_id,
+                                    thread=self.name, reason="sleep",
+                                    delay=request.delay)
             target.add_callback(self._on_wait_done)
         elif isinstance(request, WaitEvent):
             self._set_state(ThreadState.BLOCKED)
             self._wait_target = request.event
             self._wait_private = False
+            self.node.tracer.record("thread", "block",
+                                    node=self.node.node_id,
+                                    thread=self.name, reason="event",
+                                    target=request.event.name)
             request.event.add_callback(self._on_wait_done)
         elif isinstance(request, Event):
             # Yielding a bare engine event is allowed as shorthand.

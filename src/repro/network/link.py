@@ -182,6 +182,22 @@ class Link:
         """
         message.send_time = self.sim.now
         self._m_sent.inc()
+        # The message span's opening edge (recorded for every transmit,
+        # before the link decides the message's fate).  For remote
+        # precedence constraints the payload carries the HEUG
+        # correlation ids (activation + edge index); forwarding them
+        # here lets a span reconstructor tie this msg_id to its
+        # activation without guessing from FIFO order.
+        send_details = {"link": f"{self.src}->{self.dst}",
+                        "msg": message.msg_id, "kind": message.kind,
+                        "size": message.size}
+        payload = message.payload
+        if type(payload) is dict and "task" in payload and "seq" in payload:
+            send_details["activation_id"] = (f"{payload['task']}"
+                                             f"#{payload['seq']}")
+            if "edge" in payload:
+                send_details["edge"] = payload["edge"]
+        self.tracer.record("network", "send", **send_details)
         if not self.up:
             self.stats[DeliveryOutcome.DROPPED] += 1
             self._m_dropped.inc()
@@ -232,7 +248,9 @@ class Link:
         self.tracer.record("network", "deliver",
                            link=f"{self.src}->{self.dst}",
                            msg=message.msg_id, kind=message.kind,
-                           latency=message.latency)
+                           latency=message.latency,
+                           outcome=outcome.value,
+                           bound=self.guaranteed_bound(message.size))
         self._on_deliver(message)
 
     def __repr__(self) -> str:

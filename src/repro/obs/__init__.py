@@ -23,6 +23,28 @@ from repro.obs.metrics import (
     aggregate_reports,
     resolve_metrics,
 )
+from repro.obs.forensics import (
+    Contributor,
+    MissReport,
+    analyze_miss,
+    forensics_report,
+)
+from repro.obs.spans import (
+    ActivationSpan,
+    CpuSlice,
+    CriticalHop,
+    Decomposition,
+    EdgeInfo,
+    EUSpan,
+    MessageSpan,
+    Segment,
+    SpanError,
+    SpanForest,
+    critical_path,
+    decompose,
+    reconstruct,
+)
+from repro.obs.timeline import build_timeline, timeline_bytes, write_timeline
 from repro.sim.trace import JsonlStream, Tracer, TraceRecord, load_trace
 
 __all__ = [
@@ -40,4 +62,25 @@ __all__ = [
     "Tracer",
     "TraceRecord",
     "load_trace",
+    # causal spans & forensics
+    "ActivationSpan",
+    "CpuSlice",
+    "CriticalHop",
+    "Decomposition",
+    "EdgeInfo",
+    "EUSpan",
+    "MessageSpan",
+    "Segment",
+    "SpanError",
+    "SpanForest",
+    "critical_path",
+    "decompose",
+    "reconstruct",
+    "Contributor",
+    "MissReport",
+    "analyze_miss",
+    "forensics_report",
+    "build_timeline",
+    "timeline_bytes",
+    "write_timeline",
 ]

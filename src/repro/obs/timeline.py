@@ -1,0 +1,189 @@
+"""Chrome trace-event timeline export (Perfetto / chrome://tracing).
+
+Converts a reconstructed :class:`~repro.obs.spans.SpanForest` into the
+Chrome trace-event JSON format:
+
+* **processes** are HADES nodes (``pid`` = 1-based rank of the node id
+  in sorted order, with ``process_name`` metadata),
+* **thread 0** of each process is the node's CPU; every CPU slice
+  becomes a complete (``ph="X"``) duration event named after the
+  kernel thread that held the CPU,
+* **flow events** (``ph="s"`` / ``ph="f"``) connect the send and
+  delivery of every remote HEUG precedence edge across processes,
+* **instant events** (``ph="i"``) mark deadline misses (global scope)
+  and message drops (process scope).
+
+Timestamps are simulation microseconds, which is exactly the ``ts``
+unit the format expects — no scaling.
+
+The export is *byte-deterministic*: events are emitted in a fully
+ordered sort, message ids are normalised by first-send order (so
+campaigns that ran in different worker processes with offset raw
+message counters export identical bytes), and the JSON is serialised
+with sorted keys and fixed separators.
+
+Command line::
+
+    python -m repro.obs.timeline trace.jsonl --out timeline.json \
+        --report forensics.txt
+
+Load the resulting ``timeline.json`` in https://ui.perfetto.dev or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Union
+
+from repro.obs.forensics import forensics_report
+from repro.obs.spans import SpanForest, TraceSource, reconstruct
+
+__all__ = ["build_timeline", "timeline_bytes", "write_timeline", "main"]
+
+# Deterministic ordering rank for event phases at equal timestamps:
+# metadata first, then slices, flow starts before flow finishes,
+# instants last.
+_PH_ORDER = {"M": 0, "X": 1, "s": 2, "f": 3, "i": 4}
+
+
+def _pid_map(forest: SpanForest) -> Dict[str, int]:
+    """node id -> pid (1-based, sorted order — stable across runs)."""
+    nodes = set(forest.nodes)
+    for msg in forest.messages:
+        nodes.add(msg.src)
+        nodes.add(msg.dst)
+    return {node: rank + 1 for rank, node in enumerate(sorted(nodes))}
+
+
+def build_timeline(source: Union[TraceSource, SpanForest]) -> dict:
+    """Build the trace-event document from a forest or any trace source."""
+    forest = (source if isinstance(source, SpanForest)
+              else reconstruct(source))
+    pids = _pid_map(forest)
+    events: List[dict] = []
+
+    for node, pid in pids.items():
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "process_name", "args": {"name": node}})
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "process_sort_index",
+                       "args": {"sort_index": pid}})
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "thread_name", "args": {"name": "cpu"}})
+
+    for node in sorted(forest.cpu_slices):
+        pid = pids[node]
+        for sl in forest.cpu_slices[node]:
+            end = sl.end if sl.end is not None else forest.t_end
+            args = {}
+            if sl.priority is not None:
+                args["priority"] = sl.priority
+            events.append({"ph": "X", "pid": pid, "tid": 0,
+                           "ts": sl.start, "dur": max(0, end - sl.start),
+                           "name": sl.thread, "cat": "cpu", "args": args})
+
+    # Remote HEUG precedence edges as cross-process flows.
+    for msg in forest.messages:
+        if msg.kind != "heug-edge" or msg.deliver_time is None:
+            continue
+        flow_id = str(msg.norm_id)
+        name = (f"edge {msg.edge} {msg.activation_id}"
+                if msg.edge is not None and msg.activation_id
+                else f"msg {msg.norm_id}")
+        base = {"cat": "heug-edge", "name": name, "id": flow_id, "tid": 0}
+        events.append({**base, "ph": "s", "pid": pids[msg.src],
+                       "ts": msg.send_time})
+        events.append({**base, "ph": "f", "bp": "e", "pid": pids[msg.dst],
+                       "ts": msg.deliver_time})
+        if msg.late:
+            events.append({"ph": "i", "s": "p", "pid": pids[msg.dst],
+                           "tid": 0, "ts": msg.deliver_time,
+                           "cat": "network",
+                           "name": f"LATE msg {msg.norm_id} {msg.link} "
+                                   f"+{msg.excess}us"})
+
+    for msg in forest.messages:
+        if msg.outcome == "dropped":
+            events.append({"ph": "i", "s": "p", "pid": pids[msg.src],
+                           "tid": 0, "ts": msg.send_time, "cat": "network",
+                           "name": f"DROP msg {msg.norm_id} {msg.link}"
+                                   + (f" ({msg.drop_reason})"
+                                      if msg.drop_reason else "")})
+
+    for activation in forest.activations.values():
+        if not activation.missed:
+            continue
+        ts = activation.miss_detected_at
+        if ts is None:
+            ts = activation.finish_time
+        if ts is None:
+            ts = activation.deadline if activation.deadline is not None else 0
+        # Anchor the instant on the node of the first EU that ran.
+        pid = min(pids.values()) if pids else 1
+        for eu in activation.eus.values():
+            if eu.node is not None and eu.node in pids:
+                pid = pids[eu.node]
+                break
+        events.append({"ph": "i", "s": "g", "pid": pid, "tid": 0, "ts": ts,
+                       "cat": "dispatcher",
+                       "name": f"deadline_miss {activation.activation_id}"})
+
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"],
+                               _PH_ORDER.get(e["ph"], 9), e["name"],
+                               e.get("id", "")))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def timeline_bytes(source: Union[TraceSource, SpanForest]) -> bytes:
+    """Canonical byte serialisation of the timeline document."""
+    doc = build_timeline(source)
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8") + b"\n")
+
+
+def write_timeline(source: Union[TraceSource, SpanForest],
+                   path: str) -> int:
+    """Write the timeline JSON to ``path``; returns bytes written."""
+    payload = timeline_bytes(source)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.timeline",
+        description="Export a HADES JSONL trace as a Perfetto-loadable "
+                    "Chrome trace-event timeline, with an optional "
+                    "deadline-miss forensics report.")
+    parser.add_argument("trace", help="input trace (JSONL, as written by "
+                                      "Tracer.to_jsonl / stream_jsonl)")
+    parser.add_argument("--out", default="timeline.json",
+                        help="timeline JSON output path "
+                             "(default: %(default)s)")
+    parser.add_argument("--report", default=None,
+                        help="also write a plain-text deadline-miss "
+                             "forensics report to this path")
+    args = parser.parse_args(argv)
+
+    forest = reconstruct(args.trace)
+    written = write_timeline(forest, args.out)
+    misses = forest.misses()
+    print(f"{args.out}: {written} bytes, "
+          f"{len(forest.activations)} activations, "
+          f"{len(forest.messages)} messages, {len(misses)} deadline "
+          f"miss(es)")
+    if args.report is not None:
+        text = forensics_report(args.trace, forest=forest)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{args.report}: forensics for {len(misses)} miss(es)")
+    print("load in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,10 +21,20 @@ The tracer scales to long runs four ways:
   are O(matching records), not O(trace length).  The index is built
   lazily on the first category query and maintained incrementally
   afterwards, so record-heavy runs that never query pay nothing.
+* **Time windows** — ``select(..., t_min=..., t_max=...)`` restricts a
+  query to a window of simulated time.  With a category filter the
+  window runs over the index bucket and — for the common monotone
+  (clock-bound) trace — stops scanning at the right window edge, so
+  scoping a deadline miss to its busy period costs O(bucket prefix),
+  not O(trace length).
 
 **Streaming JSONL export** — :meth:`Tracer.stream_jsonl` writes records
 to disk as they are emitted, so a bounded tracer still produces a
-complete on-disk trace.
+complete on-disk trace.  Streaming and category filtering compose the
+obvious way: a record dropped by ``categories=`` is never created, so
+it never reaches any stream either — the stream sees exactly what
+:meth:`record` returns.  Pass ``footer=True`` to append a final
+metadata line counting what the stream did (and did not) capture.
 """
 
 from __future__ import annotations
@@ -90,6 +100,30 @@ class TraceRecord:
         return f"[{self.time:>10d}] {self.category}/{self.event} {payload}"
 
 
+#: Detail value types that are snapshotted on record() so that later
+#: caller-side mutation cannot rewrite already-recorded history.
+_MUTABLE_CONTAINERS = frozenset((list, dict, set, tuple))
+
+
+def _own(value: Any) -> Any:
+    """Recursively copy plain containers; scalars pass through.
+
+    Only exact ``list``/``dict``/``set``/``tuple`` instances are
+    copied — exotic subclasses and arbitrary objects are stored as
+    given (they are stringified at export time anyway).
+    """
+    t = type(value)
+    if t is list:
+        return [_own(item) for item in value]
+    if t is dict:
+        return {key: _own(item) for key, item in value.items()}
+    if t is tuple:
+        return tuple(_own(item) for item in value)
+    if t is set:
+        return {_own(item) for item in value}
+    return value
+
+
 def _jsonable(value: Any) -> Any:
     """Map a detail value to a JSON-faithful equivalent.
 
@@ -130,14 +164,39 @@ class JsonlStream:
 
     Created by :meth:`Tracer.stream_jsonl`; usable as a context manager.
     Closing detaches the stream from the tracer and closes the file.
+
+    A stream only sees records the tracer actually creates: a record
+    dropped by the tracer's ``categories=`` filter never reaches the
+    stream (it is counted in :attr:`filtered` instead), and ring-buffer
+    eviction is irrelevant here — eviction happens *after* streaming,
+    so a bounded tracer still streams everything it recorded.  The
+    :attr:`filtered` / :attr:`dropped` properties count what happened
+    *while this stream was attached*; with ``footer=True`` they are
+    also written as a final ``{"footer": ...}`` metadata line on close
+    (skipped by :func:`load_trace`).
     """
 
-    def __init__(self, tracer: "Tracer", path: str):
+    def __init__(self, tracer: "Tracer", path: str, footer: bool = False):
         self.tracer = tracer
         self.path = path
+        self.footer = footer
         self.written = 0
+        self._filtered_at_open = tracer.filtered
+        self._dropped_at_open = tracer.dropped
         self._handle: Optional[IO[str]] = open(path, "w")
         tracer.subscribe(self._on_record)
+
+    @property
+    def filtered(self) -> int:
+        """Records the category filter dropped while streaming (they
+        were never recorded, hence never written)."""
+        return self.tracer.filtered - self._filtered_at_open
+
+    @property
+    def dropped(self) -> int:
+        """Ring-buffer evictions while streaming (already written —
+        eviction only affects the in-memory tail)."""
+        return self.tracer.dropped - self._dropped_at_open
 
     def _on_record(self, entry: TraceRecord) -> None:
         if self._handle is not None:
@@ -146,10 +205,25 @@ class JsonlStream:
             self.written += 1
 
     def close(self) -> None:
-        """Stop streaming and close the underlying file (idempotent)."""
+        """Stop streaming and close the underlying file (idempotent).
+
+        With ``footer=True`` a final metadata line is appended first:
+        ``{"footer": {"written": ..., "filtered": ..., "dropped": ...,
+        "categories": ...}}``.
+        """
         if self._handle is None:
             return
         self.tracer.unsubscribe(self._on_record)
+        if self.footer:
+            categories = self.tracer.categories
+            self._handle.write(json.dumps({"footer": {
+                "written": self.written,
+                "filtered": self.filtered,
+                "dropped": self.dropped,
+                "categories": (None if categories is None
+                               else sorted(categories)),
+            }}))
+            self._handle.write("\n")
         self._handle.close()
         self._handle = None
 
@@ -184,6 +258,10 @@ class Tracer:
             None if categories is None else frozenset(categories))
         self._seq = 0          # sequence number of the next record
         self._first_seq = 0    # sequence number of the oldest kept record
+        # Whether record times have been non-decreasing so far; lets
+        # time-window queries stop scanning at the right window edge.
+        self._monotonic = True
+        self._last_time: Optional[int] = None
         self._index_enabled = index
         # Lazily built:  (category, event) -> deque[(seq, record)] and
         # category -> deque[(seq, record)].  Entries older than
@@ -229,6 +307,10 @@ class Tracer:
 
         Returns ``None`` (and counts in :attr:`filtered`) when
         ``category`` is excluded by the filter — the near-free path.
+
+        Detail values that are plain containers (list/dict/set/tuple)
+        are snapshotted at record time: mutating the caller's object
+        afterwards does not rewrite the recorded history.
         """
         allowed = self._categories
         if allowed is not None and category not in allowed:
@@ -238,6 +320,13 @@ class Tracer:
             if self._clock is None:
                 raise RuntimeError("tracer has no bound clock")
             time = self._clock()
+        last = self._last_time
+        if last is not None and time < last:
+            self._monotonic = False
+        self._last_time = time
+        for key, value in details.items():
+            if type(value) in _MUTABLE_CONTAINERS:
+                details[key] = _own(value)
         entry = TraceRecord(time, category, event, details)
         if self.maxlen is not None and len(self._records) == self.maxlen:
             self.dropped += 1
@@ -297,25 +386,46 @@ class Tracer:
 
     def select(self, category: Optional[str] = None,
                event: Optional[str] = None,
+               t_min: Optional[int] = None,
+               t_max: Optional[int] = None,
                **details: Any) -> List[TraceRecord]:
         """Records matching the given category/event/detail filters.
 
         With a ``category`` filter this runs over the per-(category,
         event) index — O(matching records); other shapes fall back to a
         linear scan.
+
+        ``t_min``/``t_max`` bound the record times (both inclusive) —
+        the forensics tooling uses this to scope a deadline miss to its
+        busy period.  On a monotone trace (times never decreased, the
+        normal clock-bound case) the indexed path stops scanning at the
+        first record past ``t_max``.
         """
         if category is not None and self._index_enabled:
             bucket = self._bucket(category, event)
-            if not details:
-                return [entry for _seq, entry in bucket]
-            return [entry for _seq, entry in bucket
-                    if all(entry.details.get(k) == v
-                           for k, v in details.items())]
+            found = []
+            for _seq, entry in bucket:
+                time = entry.time
+                if t_min is not None and time < t_min:
+                    continue
+                if t_max is not None and time > t_max:
+                    if self._monotonic:
+                        break
+                    continue
+                if details and not all(entry.details.get(k) == v
+                                       for k, v in details.items()):
+                    continue
+                found.append(entry)
+            return found
         found = []
         for entry in self._records:
             if category is not None and entry.category != category:
                 continue
             if event is not None and entry.event != event:
+                continue
+            if t_min is not None and entry.time < t_min:
+                continue
+            if t_max is not None and entry.time > t_max:
                 continue
             if any(entry.details.get(k) != v for k, v in details.items()):
                 continue
@@ -323,11 +433,15 @@ class Tracer:
         return found
 
     def count(self, category: Optional[str] = None,
-              event: Optional[str] = None, **details: Any) -> int:
+              event: Optional[str] = None,
+              t_min: Optional[int] = None,
+              t_max: Optional[int] = None, **details: Any) -> int:
         """Current number of matching items."""
-        if (category is not None and self._index_enabled and not details):
+        if (category is not None and self._index_enabled and not details
+                and t_min is None and t_max is None):
             return len(self._bucket(category, event))
-        return len(self.select(category, event, **details))
+        return len(self.select(category, event, t_min=t_min, t_max=t_max,
+                               **details))
 
     # -- rendering & export -------------------------------------------------
 
@@ -355,19 +469,28 @@ class Tracer:
                 written += 1
         return written
 
-    def stream_jsonl(self, path: str) -> JsonlStream:
+    def stream_jsonl(self, path: str, footer: bool = False) -> JsonlStream:
         """Stream every future record to ``path`` as JSON lines.
 
         Returns the :class:`JsonlStream` handle (a context manager);
         records already held are **not** written — open the stream
         before running the scenario.
+
+        Category filtering composes with streaming: a record the
+        tracer's ``categories=`` filter drops is never created, so it
+        is not streamed either.  ``footer=True`` appends one final
+        metadata line on close with the ``written``/``filtered``/
+        ``dropped`` counters for the streaming window (see
+        :class:`JsonlStream`); leave it off when the file must be
+        byte-comparable to a :meth:`to_jsonl` batch export.
         """
-        return JsonlStream(self, path)
+        return JsonlStream(self, path, footer=footer)
 
 
 def load_trace(path: str, maxlen: Optional[int] = None) -> "Tracer":
     """Load a trace previously saved with :meth:`Tracer.to_jsonl` or
-    :meth:`Tracer.stream_jsonl`."""
+    :meth:`Tracer.stream_jsonl` (a ``footer`` metadata line, if
+    present, is skipped)."""
     tracer = Tracer(clock=lambda: 0, maxlen=maxlen)
     with open(path) as handle:
         for line in handle:
@@ -375,6 +498,8 @@ def load_trace(path: str, maxlen: Optional[int] = None) -> "Tracer":
             if not line:
                 continue
             raw = json.loads(line)
+            if "time" not in raw:
+                continue  # stream footer (or other metadata) line
             tracer.record(raw["category"], raw["event"], time=raw["time"],
                           **raw["details"])
     return tracer

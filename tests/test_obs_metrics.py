@@ -160,6 +160,44 @@ class TestRunReport:
         assert snap.quantile(1.0) == 1000
         assert HistogramSnapshot((10,), (0, 0), 0, 0, None, None).quantile(0.5) is None
 
+    def test_quantile_edge_cases(self):
+        empty = HistogramSnapshot((10, 100), (0, 0, 0), 0, 0, None, None)
+        for q in (0.0, 0.5, 1.0):
+            assert empty.quantile(q) is None
+
+        single = MetricsRegistry().histogram("s", buckets=(10,))
+        single.observe(5)
+        snap = single.snapshot()
+        assert snap.quantile(0.0) == 10
+        assert snap.quantile(1.0) == 10
+
+        # Observations past the last bound live in the overflow bucket:
+        # no finite upper bound exists for quantiles that land there.
+        over = MetricsRegistry().histogram("o", buckets=(10,))
+        over.observe(5)
+        over.observe(999)
+        snap = over.snapshot()
+        assert snap.quantile(0.5) == 10
+        assert snap.quantile(1.0) is None
+
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+        with pytest.raises(ValueError):
+            snap.quantile(1.1)
+
+    def test_quantiles_survive_report_round_trip(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(10, 100, 1000))
+        for value in (1, 2, 50, 60, 70, 800):
+            hist.observe(value)
+        report = registry.snapshot()
+        clone = RunReport.from_dict(
+            json.loads(json.dumps(report.to_dict())))
+        original = report.histograms["lat"]
+        restored = clone.histograms["lat"]
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert restored.quantile(q) == original.quantile(q)
+
 
 class TestInstrumentedSystem:
     def run_workload(self, metrics):

@@ -1,0 +1,146 @@
+"""Chrome trace-event timeline export: schema, determinism, CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro import EUAttributes, HadesSystem, Task
+from repro.network.link import PerformanceFault
+from repro.obs.spans import reconstruct
+from repro.obs.timeline import (
+    build_timeline,
+    main,
+    timeline_bytes,
+    write_timeline,
+)
+
+
+def run_system():
+    system = HadesSystem(node_ids=["n0", "n1"])
+    victim = Task("victim", deadline=700)
+    sense = victim.code_eu("sense", wcet=300, node_id="n0",
+                           attrs=EUAttributes(prio=10))
+    act = victim.code_eu("act", wcet=200, node_id="n1",
+                         attrs=EUAttributes(prio=10))
+    victim.precede(sense, act)
+    hog = Task("hog")
+    hog.code_eu("spin", wcet=400, node_id="n0", attrs=EUAttributes(prio=30))
+    system.network.link("n0", "n1").add_fault(PerformanceFault(500))
+    system.activate(victim.validate())
+    system.activate(hog.validate())
+    system.run(until=10_000)
+    return system
+
+
+class TestTimelineDocument:
+    def test_schema_required_keys(self):
+        doc = build_timeline(reconstruct(run_system().tracer))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for event in doc["traceEvents"]:
+            for key in ("ph", "ts", "pid", "tid"):
+                assert key in event, event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] in ("s", "f"):
+                assert event["id"]
+            if event["ph"] == "i":
+                assert event["s"] in ("g", "p")
+        json.dumps(doc)
+
+    def test_processes_are_nodes_threads_are_cpus(self):
+        doc = build_timeline(reconstruct(run_system().tracer))
+        names = {e["pid"]: e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {1: "n0", 2: "n1"}
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices and all(e["tid"] == 0 for e in slices)
+        assert {e["pid"] for e in slices} == {1, 2}
+        # Every CPU slice is named after the owning kernel thread.
+        assert any(e["name"] == "victim#1/sense" for e in slices)
+        assert any(e["name"] == "victim#1/act" for e in slices)
+
+    def test_flow_events_cross_processes(self):
+        doc = build_timeline(reconstruct(run_system().tracer))
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(ends) == 1
+        assert starts[0]["pid"] == 1 and ends[0]["pid"] == 2
+        assert starts[0]["id"] == ends[0]["id"]
+        assert starts[0]["ts"] < ends[0]["ts"]
+        assert "edge 0 victim#1" in starts[0]["name"]
+
+    def test_instants_mark_miss_and_late_delivery(self):
+        doc = build_timeline(reconstruct(run_system().tracer))
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        names = " | ".join(e["name"] for e in instants)
+        assert "deadline_miss victim#1" in names
+        assert "LATE msg" in names
+
+
+class TestDeterminism:
+    def test_byte_identical_across_runs(self):
+        assert (timeline_bytes(reconstruct(run_system().tracer))
+                == timeline_bytes(reconstruct(run_system().tracer)))
+
+    def test_normalised_msg_ids_absorb_raw_counter_offsets(self, tmp_path):
+        # A campaign worker that ran other scenarios first hands out
+        # offset raw message ids; the export must not change.
+        system = run_system()
+        path = tmp_path / "trace.jsonl"
+        system.tracer.to_jsonl(str(path))
+        baseline = timeline_bytes(reconstruct(str(path)))
+
+        shifted_path = tmp_path / "shifted.jsonl"
+        with open(path) as src, open(shifted_path, "w") as dst:
+            for line in src:
+                raw = json.loads(line)
+                if "msg" in raw.get("details", {}):
+                    raw["details"]["msg"] += 1_000
+                dst.write(json.dumps(raw) + "\n")
+        assert timeline_bytes(reconstruct(str(shifted_path))) == baseline
+
+    def test_write_timeline_roundtrip(self, tmp_path):
+        forest = reconstruct(run_system().tracer)
+        out = tmp_path / "timeline.json"
+        written = write_timeline(forest, str(out))
+        assert written == len(out.read_bytes())
+        assert out.read_bytes() == timeline_bytes(forest)
+
+
+class TestCli:
+    def _trace_file(self, tmp_path):
+        system = run_system()
+        path = tmp_path / "trace.jsonl"
+        system.tracer.to_jsonl(str(path))
+        return path
+
+    def test_main_writes_timeline_and_report(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path)
+        out = tmp_path / "timeline.json"
+        report = tmp_path / "forensics.txt"
+        code = main([str(trace), "--out", str(out),
+                     "--report", str(report)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        text = report.read_text()
+        assert text.startswith("HADES deadline-miss forensics")
+        assert "MISS victim#1" in text
+        stdout = capsys.readouterr().out
+        assert "deadline" in stdout and "perfetto" in stdout
+
+    def test_module_entry_point(self, tmp_path):
+        trace = self._trace_file(tmp_path)
+        out = tmp_path / "timeline.json"
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.timeline", str(trace),
+             "--out", str(out)],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert result.returncode == 0, result.stderr
+        assert json.loads(out.read_text())["traceEvents"]
