@@ -31,6 +31,9 @@ minor versions.  A typical deployment needs nothing beyond::
 Deeper layers remain importable for research use:
 
 * :mod:`repro.core` — the HEUG task model, dispatcher, cost model,
+* :mod:`repro.admission` — online admission control & overload
+  management (guarantee tests, overload policies, distributed
+  guarantee forwarding),
 * :mod:`repro.scheduling` — EDF, RM, DM, Spring, PCP, SRP, FIFO,
 * :mod:`repro.feasibility` — off-line scheduling tests incl. the §5.3
   cost-integrated test,
@@ -42,6 +45,13 @@ Deeper layers remain importable for research use:
 * :mod:`repro.obs` — metrics registry and trace tooling.
 """
 
+from repro.admission import (
+    AdmissionController,
+    AdmissionRequest,
+    ResponseTimeTest,
+    SpringProbeTest,
+    UtilizationTest,
+)
 from repro.core.costs import DispatcherCosts
 from repro.core.heug import (
     CodeEU,
@@ -70,7 +80,7 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # deployment facade
@@ -97,6 +107,12 @@ __all__ = [
     "SpringScheduler",
     "FixedPriorityScheduler",
     "FIFOScheduler",
+    # admission control & overload management
+    "AdmissionController",
+    "AdmissionRequest",
+    "UtilizationTest",
+    "ResponseTimeTest",
+    "SpringProbeTest",
     # fault-injection campaigns
     "Campaign",
     "CampaignResult",

@@ -1,0 +1,36 @@
+"""Online admission control & overload management.
+
+The missing robustness layer between arrival and release: a per-node
+:class:`~repro.admission.controller.AdmissionController` service task
+runs a pluggable guarantee test (utilization quick-test, response-time
+probe, Spring plan probe) on every submitted aperiodic/sporadic
+arrival, applies an overload policy (reject, shed-lowest-value,
+(m,k)-firm skip, mode-change degradation) and, on local rejection,
+can forward the guarantee request to a peer node with a
+deadline-aware timeout — Spring's distributed guarantee on top of
+HADES primitives.
+"""
+
+from repro.admission.controller import (
+    AdmissionController,
+    AdmissionRequest,
+    default_remote_task,
+)
+from repro.admission.guarantee import (
+    GuaranteeTest,
+    ResponseTimeTest,
+    SpringProbeTest,
+    UtilizationTest,
+    Verdict,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRequest",
+    "GuaranteeTest",
+    "ResponseTimeTest",
+    "SpringProbeTest",
+    "UtilizationTest",
+    "Verdict",
+    "default_remote_task",
+]

@@ -1,0 +1,186 @@
+"""Pluggable guarantee tests for online admission control.
+
+A guarantee test answers, at arrival time, the Spring-kernel question:
+*can this newcomer be accepted such that it AND everything already
+accepted still meet their deadlines?* (Ramamritham, Stankovic & Shiah
+1990; HADES §3.1.2 provides the ``earliest`` attribute precisely so
+such planning-based decisions can be enforced.)
+
+Three tests of increasing precision/cost are provided:
+
+* :class:`UtilizationTest` — O(n) density quick-test,
+* :class:`ResponseTimeTest` — Joseph & Pandya response-time probe
+  reusing :mod:`repro.feasibility.response_time`,
+* :class:`SpringProbeTest` — the :class:`~repro.scheduling.spring.
+  SpringScheduler` planner in try-only mode
+  (:meth:`~repro.scheduling.spring.SpringScheduler.try_plan`).
+
+Every test is *pure*: it inspects the admitted set (or, for the Spring
+probe, the scheduler's guaranteed set) and returns a
+:class:`Verdict` without mutating anything, so a rejection leaves the
+system exactly as it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.feasibility.response_time import (
+    rta_schedulable,
+    sort_deadline_monotonic,
+)
+from repro.feasibility.taskset import AnalysisTask
+
+__all__ = ["Verdict", "GuaranteeTest", "UtilizationTest",
+           "ResponseTimeTest", "SpringProbeTest", "remaining_window"]
+
+#: Stand-in window for requests with no deadline: long enough to never
+#: constrain anything, finite so AnalysisTask validation accepts it.
+_UNCONSTRAINED = 2 ** 40
+
+
+def remaining_window(request, now: int) -> int:
+    """Time the request has left: ``abs_deadline - now``.
+
+    Guarantee tests must reason about *remaining* windows, not the
+    original relative deadlines: an in-flight job re-examined at a
+    later admission has already burnt part of its window, and judging
+    it by the full deadline lets successive generations of short jobs
+    push its finish past the absolute deadline while every individual
+    check still passes.  With remaining windows the hypothetical
+    "everything re-released now" job set dominates the real residual
+    workload (full WCET >= remaining work, same absolute deadlines),
+    so a passing test is sound for the actual schedule.
+    """
+    abs_deadline = getattr(request, "abs_deadline", None)
+    if abs_deadline is not None:
+        return abs_deadline - now
+    if request.rel_deadline is not None:
+        return request.rel_deadline
+    return _UNCONSTRAINED
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one guarantee evaluation."""
+    ok: bool
+    test: str
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class GuaranteeTest:
+    """Interface: would admitting ``newcomer`` keep every guarantee?
+
+    ``admitted`` is the controller's in-flight admitted request set
+    (objects exposing ``wcet``, ``rel_deadline`` and ``task_name``);
+    ``now`` is the current simulation time.  Implementations must be
+    side-effect free.
+    """
+
+    name = "base"
+
+    def admit(self, admitted: Sequence, newcomer, now: int) -> Verdict:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class UtilizationTest(GuaranteeTest):
+    """O(n) density quick-test: ``sum(wcet / deadline) <= bound``.
+
+    For one-shot jobs the density bound is sufficient (density <= 1
+    implies EDF feasibility) but pessimistic; ``bound`` below 1 leaves
+    explicit headroom for overheads.
+    """
+
+    name = "utilization"
+
+    def __init__(self, bound: float = 1.0):
+        if bound <= 0:
+            raise ValueError("bound must be > 0")
+        self.bound = bound
+
+    def admit(self, admitted: Sequence, newcomer, now: int) -> Verdict:
+        density = 0.0
+        for request in [*admitted, newcomer]:
+            window = remaining_window(request, now)
+            if window <= 0:
+                return Verdict(False, self.name,
+                               f"{request.task_name} past its deadline")
+            density += request.wcet / window
+        if density <= self.bound + 1e-9:
+            return Verdict(True, self.name)
+        return Verdict(False, self.name,
+                       f"density {density:.3f} > bound {self.bound:.3f}")
+
+
+class ResponseTimeTest(GuaranteeTest):
+    """Response-time probe over the admitted set (§5.3 machinery).
+
+    Each in-flight admitted request — and the newcomer — is modelled as
+    a sporadic :class:`AnalysisTask` with full WCET and period =
+    deadline = its *remaining* window (:func:`remaining_window`), then
+    checked with deadline-monotonic fixed-priority response-time
+    analysis.  The hypothetical set dominates the residual workload
+    (full WCET >= remaining work, identical absolute deadlines), the
+    synchronous release is the critical instant for the one-shot jobs,
+    and DM order on remaining windows *is* EDF order on absolute
+    deadlines — so an admitted set that passes runs miss-free under the
+    EDF scheduler with zero dispatcher costs, a property the admission
+    test-suite checks across seeded overload runs.  ``interference`` is
+    the usual window-demand hook for charging scheduler/kernel
+    overheads.
+    """
+
+    name = "response-time"
+
+    def __init__(self, interference: Optional[Callable[[int], int]] = None):
+        self.interference = interference
+
+    def admit(self, admitted: Sequence, newcomer, now: int) -> Verdict:
+        tasks = []
+        for index, request in enumerate([*admitted, newcomer]):
+            window = remaining_window(request, now)
+            if window <= 0:
+                return Verdict(False, self.name,
+                               f"{request.task_name} past its deadline")
+            tasks.append(AnalysisTask(
+                name=f"{request.task_name}#{index}",
+                wcet=request.wcet, deadline=window, period=window))
+        ordered = sort_deadline_monotonic(tasks)
+        if rta_schedulable(ordered, self.interference):
+            return Verdict(True, self.name)
+        return Verdict(False, self.name,
+                       f"{len(tasks)} in-flight jobs fail DM "
+                       "response-time analysis")
+
+
+class SpringProbeTest(GuaranteeTest):
+    """Try-only probe of the Spring planner.
+
+    Admits iff :meth:`~repro.scheduling.spring.SpringScheduler.
+    try_plan` finds a full plan covering the scheduler's guaranteed set
+    plus a hypothetical job of the newcomer's WCET and deadline.  The
+    ``admitted`` argument is ignored — the authoritative set is the
+    scheduler's own guaranteed jobs (which is why this test should not
+    be paired with the ``shed`` policy: shedding reasons about the
+    controller's set, not the planner's).
+    """
+
+    name = "spring-probe"
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+
+    def admit(self, admitted: Sequence, newcomer, now: int) -> Verdict:
+        deadline = (now + newcomer.rel_deadline
+                    if newcomer.rel_deadline is not None else None)
+        plan = self.scheduler.try_plan(newcomer.wcet, deadline)
+        if plan is not None:
+            return Verdict(True, self.name)
+        return Verdict(False, self.name, "no feasible Spring plan")

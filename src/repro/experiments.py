@@ -52,6 +52,7 @@ EXPERIMENTS = {
     "E16": "bench_parallel_campaign.py",
     "E17": "bench_engine_hotpath.py",
     "E18": "bench_forensics.py",
+    "E19": "bench_admission.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

@@ -31,6 +31,7 @@ from repro.obs.forensics import (
 )
 from repro.obs.spans import (
     ActivationSpan,
+    AdmissionEvent,
     CpuSlice,
     CriticalHop,
     Decomposition,
@@ -64,6 +65,7 @@ __all__ = [
     "load_trace",
     # causal spans & forensics
     "ActivationSpan",
+    "AdmissionEvent",
     "CpuSlice",
     "CriticalHop",
     "Decomposition",

@@ -266,8 +266,22 @@ def forensics_report(source: TraceSource,
         f"trace window: 0 .. {forest.t_end}us",
         f"activations: {len(activations)} ({len(misses)} missed, "
         f"{aborted} aborted)",
-        "",
     ]
+    if forest.has_admission:
+        # Never-admitted arrivals never become activations — surface
+        # how many were turned away so the miss list reads correctly.
+        by_event = {}
+        for event in forest.admission_events:
+            by_event[event.event] = by_event.get(event.event, 0) + 1
+        lines.append(
+            f"admission: {forest.admission_submits} submitted, "
+            f"{forest.admission_admits} admitted, "
+            f"{by_event.get('reject', 0)} rejected, "
+            f"{by_event.get('shed', 0)} shed, "
+            f"{by_event.get('skip', 0)} skipped, "
+            f"{by_event.get('forward', 0)} forwarded "
+            f"({by_event.get('forward_timeout', 0)} timed out)")
+    lines.append("")
     if not misses:
         lines.append("no deadline misses.")
         return "\n".join(lines) + "\n"
@@ -275,6 +289,11 @@ def forensics_report(source: TraceSource,
     for activation in misses:
         report = analyze_miss(forest, activation, tracer)
         head = f"MISS {activation.activation_id}"
+        if forest.has_admission:
+            # A guaranteed-then-missed activation is an admission-test
+            # failure; an unadmitted one bypassed the controller.
+            head += (" [admitted]" if activation.admitted
+                     else " [not admitted]")
         if activation.deadline is not None:
             head += f"  deadline={activation.deadline}"
         if activation.finish_time is not None:

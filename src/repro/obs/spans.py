@@ -51,6 +51,7 @@ __all__ = [
     "EdgeInfo",
     "EUSpan",
     "ActivationSpan",
+    "AdmissionEvent",
     "SpanForest",
     "CpuSlice",
     "CriticalHop",
@@ -200,6 +201,10 @@ class ActivationSpan:
     remaining_at_miss: Optional[int] = None
     aborted: bool = False
     abort_reason: Optional[str] = None
+    #: True when an AdmissionController released this activation
+    #: (``admission/admit``); stays False for activations released
+    #: outside admission control.
+    admitted: bool = False
     eus: Dict[str, EUSpan] = field(default_factory=dict)       # by short name
     edges: Dict[int, EdgeInfo] = field(default_factory=dict)   # by edge index
     messages: List[MessageSpan] = field(default_factory=list)
@@ -220,6 +225,18 @@ class ActivationSpan:
                 if latest is None or edge.satisfied_time > latest:
                     latest = edge.satisfied_time
         return latest if latest is not None else self.activation_time
+
+
+@dataclass
+class AdmissionEvent:
+    """One admission-control decision that did *not* release work:
+    reject / shed / skip / forward / forward_result / forward_timeout /
+    degrade (admits are recorded on the activation span instead)."""
+    time: int
+    event: str
+    task: str
+    node: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -285,6 +302,17 @@ class SpanForest:
         self.nodes: List[str] = []
         #: largest record time seen.
         self.t_end: int = 0
+        #: admission decisions that did not release work, in trace order.
+        self.admission_events: List[AdmissionEvent] = []
+        #: arrivals offered to / released by admission control.
+        self.admission_submits: int = 0
+        self.admission_admits: int = 0
+
+    @property
+    def has_admission(self) -> bool:
+        """Whether this trace went through an AdmissionController."""
+        return bool(self.admission_submits or self.admission_events
+                    or self.admission_admits)
 
     def misses(self) -> List[ActivationSpan]:
         """Activations that missed their deadline, in activation order."""
@@ -570,6 +598,47 @@ class _Builder:
         msg.deliver_time = time
         msg.outcome = "dst_crashed"
 
+    def _admission_event(self, time: int, event: str, d: dict) -> None:
+        detail = {k: v for k, v in d.items() if k not in ("node", "task")}
+        self.forest.admission_events.append(AdmissionEvent(
+            time, event, d.get("task", ""), d.get("node"), detail))
+        if d.get("node"):
+            self._note_node(d["node"])
+
+    def _on_admission_submit(self, time: int, d: dict) -> None:
+        self.forest.admission_submits += 1
+        if d.get("node"):
+            self._note_node(d["node"])
+
+    def _on_admission_admit(self, time: int, d: dict) -> None:
+        self.forest.admission_admits += 1
+        if d.get("node"):
+            self._note_node(d["node"])
+        activation_id = d.get("activation_id")
+        if activation_id:
+            self._activation(activation_id).admitted = True
+
+    def _on_admission_reject(self, time: int, d: dict) -> None:
+        self._admission_event(time, "reject", d)
+
+    def _on_admission_shed(self, time: int, d: dict) -> None:
+        self._admission_event(time, "shed", d)
+
+    def _on_admission_skip(self, time: int, d: dict) -> None:
+        self._admission_event(time, "skip", d)
+
+    def _on_admission_forward(self, time: int, d: dict) -> None:
+        self._admission_event(time, "forward", d)
+
+    def _on_admission_forward_result(self, time: int, d: dict) -> None:
+        self._admission_event(time, "forward_result", d)
+
+    def _on_admission_forward_timeout(self, time: int, d: dict) -> None:
+        self._admission_event(time, "forward_timeout", d)
+
+    def _on_admission_degrade(self, time: int, d: dict) -> None:
+        self._admission_event(time, "degrade", d)
+
     def _close_slice(self, node: str, time: int) -> None:
         open_slice = self._open_slice.pop(node, None)
         if open_slice is None:
@@ -610,6 +679,15 @@ class _Builder:
         ("network", "deliver"): _on_deliver,
         ("network", "drop"): _on_drop,
         ("network", "dst_crashed"): _on_dst_crashed,
+        ("admission", "submit"): _on_admission_submit,
+        ("admission", "admit"): _on_admission_admit,
+        ("admission", "reject"): _on_admission_reject,
+        ("admission", "shed"): _on_admission_shed,
+        ("admission", "skip"): _on_admission_skip,
+        ("admission", "forward"): _on_admission_forward,
+        ("admission", "forward_result"): _on_admission_forward_result,
+        ("admission", "forward_timeout"): _on_admission_forward_timeout,
+        ("admission", "degrade"): _on_admission_degrade,
     }
 
 

@@ -10,8 +10,9 @@ Chrome trace-event JSON format:
   kernel thread that held the CPU,
 * **flow events** (``ph="s"`` / ``ph="f"``) connect the send and
   delivery of every remote HEUG precedence edge across processes,
-* **instant events** (``ph="i"``) mark deadline misses (global scope)
-  and message drops (process scope).
+* **instant events** (``ph="i"``) mark deadline misses (global scope),
+  message drops, and admission-control reject/shed/skip/forward/
+  timeout/degrade decisions (process scope, on the deciding node).
 
 Timestamps are simulation microseconds, which is exactly the ``ts``
 unit the format expects — no scaling.
@@ -130,6 +131,21 @@ def build_timeline(source: Union[TraceSource, SpanForest]) -> dict:
         events.append({"ph": "i", "s": "g", "pid": pid, "tid": 0, "ts": ts,
                        "cat": "dispatcher",
                        "name": f"deadline_miss {activation.activation_id}"})
+
+    fallback_pid = min(pids.values()) if pids else 1
+    for ev in forest.admission_events:
+        pid = pids.get(ev.node, fallback_pid)
+        name = f"admission_{ev.event} {ev.task}"
+        reason = ev.detail.get("reason")
+        if reason:
+            name += f" ({reason})"
+        if ev.event == "forward" and ev.detail.get("peer"):
+            name += f" ->{ev.detail['peer']}"
+        if ev.event == "forward_result":
+            name += (" granted" if ev.detail.get("granted")
+                     else " denied")
+        events.append({"ph": "i", "s": "p", "pid": pid, "tid": 0,
+                       "ts": ev.time, "cat": "admission", "name": name})
 
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"],
                                _PH_ORDER.get(e["ph"], 9), e["name"],

@@ -47,17 +47,30 @@ def h_min_wcet(job: "_Job", _now: int) -> float:
 
 class _Job:
     """Planner view of one guaranteed unit (a whole task instance,
-    planned as the sequence of its units on one processor)."""
+    planned as the sequence of its units on one processor).
 
-    def __init__(self, eui):
+    With ``eui=None`` the job is a *hypothetical* probe (wcet/deadline
+    given explicitly) used by :meth:`SpringScheduler.try_plan`; probes
+    are always movable and never touch dispatcher state.
+    """
+
+    def __init__(self, eui=None, wcet: int = 0,
+                 deadline: Optional[int] = None):
         self.eui = eui
-        self.wcet = eui.instance.task.total_wcet()
-        self.deadline = (eui.instance.abs_deadline
-                         if eui.instance.abs_deadline is not None else NEVER)
+        if eui is not None:
+            self.wcet = eui.instance.task.total_wcet()
+            self.deadline = (eui.instance.abs_deadline
+                             if eui.instance.abs_deadline is not None
+                             else NEVER)
+        else:
+            self.wcet = wcet
+            self.deadline = deadline if deadline is not None else NEVER
 
     @property
     def alive(self) -> bool:
         """Whether the underlying work is still pending."""
+        if self.eui is None:
+            return True
         return self.eui.state not in (EUState.DONE, EUState.ABORTED)
 
 
@@ -107,10 +120,7 @@ class SpringScheduler(SchedulerBase):
     def _admit(self, eui) -> None:
         now = self.dispatcher.sim.now
         newcomer = _Job(eui)
-        candidates = [job for job in self._guaranteed if job.alive]
-        candidates.append(newcomer)
-        plan = self._build_plan(candidates, now, self.backtrack,
-                                newcomer=newcomer)
+        plan = self._plan_with(newcomer, now)
         if plan is None:
             self.rejected_count += 1
             self.dispatcher.tracer.record("scheduler", "spring_reject",
@@ -125,6 +135,33 @@ class SpringScheduler(SchedulerBase):
             if job.eui.state not in (EUState.DONE, EUState.ABORTED):
                 self.set_priority(job.eui, PRIO_MAX_APPL)
                 self.set_earliest(job.eui, start)
+
+    def _plan_with(self, newcomer: _Job, now: int
+                   ) -> Optional[Dict[_Job, int]]:
+        """Plan the currently guaranteed set plus ``newcomer``."""
+        candidates = [job for job in self._guaranteed if job.alive]
+        candidates.append(newcomer)
+        return self._build_plan(candidates, now, self.backtrack,
+                                newcomer=newcomer)
+
+    def try_plan(self, wcet: int, deadline: Optional[int] = None
+                 ) -> Optional[Dict[_Job, int]]:
+        """Side-effect-free guarantee probe.
+
+        Answers "would a hypothetical job of ``wcet`` microseconds with
+        absolute ``deadline`` be guaranteed *right now*, alongside
+        everything already guaranteed?" without committing anything:
+        neither ``plan`` / ``_guaranteed`` / the counters nor any
+        dispatcher thread parameter is touched.  Returns the candidate
+        plan ({job: start}, probe included) or ``None`` if the search
+        finds no feasible plan — exactly the accept/reject answer
+        :meth:`_admit` would give, making this the *try-only* mode the
+        admission layer uses as its Spring guarantee test.
+        """
+        if self.dispatcher is None:
+            raise RuntimeError("try_plan requires an attached scheduler")
+        probe = _Job(wcet=wcet, deadline=deadline)
+        return self._plan_with(probe, self.dispatcher.sim.now)
 
     def _build_plan(self, jobs: List[_Job], now: int, backtrack: int,
                     newcomer: Optional[_Job] = None

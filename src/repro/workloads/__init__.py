@@ -19,6 +19,8 @@ task sets.  This package provides:
 """
 
 from repro.workloads.arrivals import (
+    bursty_arrivals,
+    overload_ramp_arrivals,
     periodic_arrivals,
     sporadic_arrivals,
     validate_arrivals,
@@ -42,6 +44,8 @@ from repro.workloads.translation import (
 __all__ = [
     "RATE_GROUP_PERIODS",
     "avionics_taskset",
+    "bursty_arrivals",
+    "overload_ramp_arrivals",
     "periodic_arrivals",
     "sporadic_arrivals",
     "validate_arrivals",

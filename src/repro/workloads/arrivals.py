@@ -71,6 +71,79 @@ def sporadic_arrivals(law: Sporadic, horizon: int, seed: int,
     return times
 
 
+def bursty_arrivals(horizon: int, burst_size: int, burst_gap: int,
+                    intra_gap: int = 0, start: int = 0,
+                    jitter: int = 0, seed: int = 0) -> List[int]:
+    """Deterministic bursty aperiodic arrivals over ``[0, horizon)``.
+
+    Bursts of ``burst_size`` arrivals (``intra_gap`` microseconds
+    apart inside a burst) start every ``burst_gap`` microseconds from
+    ``start``; ``jitter`` adds a seeded random delay in ``[0, jitter]``
+    to each burst head.  ``burst_size == 0`` is a legal zero-length
+    burst (no arrivals at all), and the horizon is exclusive: arrivals
+    at or past it are clipped, even mid-burst.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    if burst_size < 0:
+        raise ValueError("burst_size must be >= 0")
+    if burst_gap <= 0:
+        raise ValueError("burst_gap must be > 0")
+    if intra_gap < 0 or jitter < 0:
+        raise ValueError("intra_gap and jitter must be >= 0")
+    rng = random.Random(seed)
+    times = []
+    head = start
+    while head < horizon:
+        offset = rng.randrange(0, jitter + 1) if jitter else 0
+        for index in range(burst_size):
+            release = head + offset + index * intra_gap
+            if release >= horizon:
+                break
+            times.append(release)
+        head += burst_gap
+    return times
+
+
+def overload_ramp_arrivals(horizon: int, wcet: int,
+                           start_load: float, peak_load: float,
+                           ramp_end: int = 0,
+                           jitter: float = 0.0, seed: int = 0) -> List[int]:
+    """Aperiodic arrivals whose *offered load* ramps up over time.
+
+    The instantaneous offered load (work arriving per unit time for a
+    stream of ``wcet``-sized jobs) is interpolated linearly from
+    ``start_load`` at t=0 to ``peak_load`` at ``ramp_end`` (default:
+    the horizon) and held there; the inter-arrival gap at time t is
+    ``wcet / load(t)``.  ``jitter`` (a fraction in ``[0, 1)``) scales
+    each gap by a seeded random factor in ``[1 - jitter, 1 + jitter]``,
+    keeping the stream deterministic per seed.  ``peak_load > 1``
+    produces a sustained overload ramp — the admission-control stress
+    pattern.  Arrivals lie in ``[0, horizon)``.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    if wcet <= 0:
+        raise ValueError("wcet must be > 0")
+    if start_load <= 0 or peak_load <= 0:
+        raise ValueError("offered loads must be > 0")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must be in [0, 1)")
+    ramp = ramp_end if ramp_end > 0 else horizon
+    rng = random.Random(seed)
+    times = []
+    release = 0
+    while release < horizon:
+        times.append(release)
+        fraction = min(1.0, release / ramp) if ramp else 1.0
+        load = start_load + (peak_load - start_load) * fraction
+        gap = wcet / load
+        if jitter:
+            gap *= 1.0 + rng.uniform(-jitter, jitter)
+        release += max(1, int(round(gap)))
+    return times
+
+
 def validate_arrivals(times: List[int], law) -> bool:
     """Whether an arrival list respects the law's minimum separation."""
     gap = law.min_separation()

@@ -422,3 +422,58 @@ class TestCohabitation:
         system.run()
         assert system.monitor.count(ViolationKind.DEADLINE_MISS) == 0
         assert system.dispatcher.completed_instances == 6
+
+
+class TestSpringTryPlan:
+    """The side-effect-free probe behind admission's SpringProbeTest."""
+
+    @staticmethod
+    def _fingerprint(system, spring):
+        import json
+        state = {
+            "plan": sorted((repr(key), start)
+                           for key, start in spring.plan.items()),
+            "guaranteed": [id(job) for job in spring._guaranteed],
+            "counts": (spring.guaranteed_count, spring.rejected_count,
+                       spring.handled_count),
+            "threads": [(index, job.eui.priority,
+                         getattr(job.eui, "earliest", None))
+                        for index, job in enumerate(spring._guaranteed)],
+            "trace": len(system.tracer.records),
+        }
+        return json.dumps(state, sort_keys=True).encode("utf-8")
+
+    def test_rejected_probe_leaves_state_byte_identical(self):
+        system = make_system()
+        spring = SpringScheduler(scope="n0", w_sched=0)
+        system.attach_scheduler(spring)
+        system.activate(simple_task("good", wcet=800, deadline=1000))
+        snap = {}
+
+        def probe():
+            # good has ~700us left toward t=1000: a 500us/600 probe
+            # cannot fit either way around it, a 100us/5100 one can.
+            snap["before"] = self._fingerprint(system, spring)
+            snap["reject"] = spring.try_plan(500, system.sim.now + 500)
+            snap["after_reject"] = self._fingerprint(system, spring)
+            snap["accept"] = spring.try_plan(100, system.sim.now + 5000)
+            snap["after_accept"] = self._fingerprint(system, spring)
+
+        system.sim.call_in(100, probe)
+        system.run()
+        assert snap["reject"] is None
+        assert snap["accept"] is not None
+        # Neither outcome left a trace: plan, guaranteed set, counters,
+        # thread parameters and the trace log are byte-identical.
+        assert snap["after_reject"] == snap["before"]
+        assert snap["after_accept"] == snap["before"]
+        assert spring.rejected_count == 0
+        assert spring.guaranteed_count == 1
+        good = system.dispatcher.instances_of("good")[0]
+        assert good.state is InstanceState.DONE
+        assert not good.missed_deadline
+
+    def test_try_plan_requires_attachment(self):
+        spring = SpringScheduler(scope="n0", w_sched=0)
+        with pytest.raises(RuntimeError):
+            spring.try_plan(100, 1000)

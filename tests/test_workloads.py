@@ -8,7 +8,9 @@ from repro.core import AccessMode, Resource
 from repro.core.attributes import Periodic, Sporadic
 from repro.feasibility import SpuriTask, utilization
 from repro.workloads import (
+    bursty_arrivals,
     harmonic_taskset,
+    overload_ramp_arrivals,
     periodic_to_heug,
     random_periodic_taskset,
     random_spuri_taskset,
@@ -158,3 +160,83 @@ class TestTranslation:
         system.run()
         assert instance.state is InstanceState.DONE
         assert instance.response_time == 35
+
+
+class TestBurstyArrivals:
+    def test_burst_structure(self):
+        times = bursty_arrivals(1_000, burst_size=3, burst_gap=400,
+                                intra_gap=10)
+        assert times == [0, 10, 20, 400, 410, 420, 800, 810, 820]
+
+    def test_zero_length_burst_is_legal(self):
+        assert bursty_arrivals(1_000, burst_size=0, burst_gap=100) == []
+
+    def test_horizon_is_exclusive_even_mid_burst(self):
+        times = bursty_arrivals(415, burst_size=3, burst_gap=400,
+                                intra_gap=10)
+        # The second burst starts at 400 but only 400 and 410 fit.
+        assert times == [0, 10, 20, 400, 410]
+        assert bursty_arrivals(0, burst_size=3, burst_gap=100) == []
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = bursty_arrivals(10_000, 2, 500, intra_gap=5, jitter=50, seed=7)
+        b = bursty_arrivals(10_000, 2, 500, intra_gap=5, jitter=50, seed=7)
+        c = bursty_arrivals(10_000, 2, 500, intra_gap=5, jitter=50, seed=8)
+        assert a == b
+        assert a != c
+        # Jitter shifts burst heads forward only, within the bound.
+        heads = a[::2]
+        assert all(0 <= head - base <= 50
+                   for head, base in zip(heads, range(0, 10_000, 500)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(-1, 1, 100)
+        with pytest.raises(ValueError):
+            bursty_arrivals(100, -1, 100)
+        with pytest.raises(ValueError):
+            bursty_arrivals(100, 1, 0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(100, 1, 100, intra_gap=-1)
+
+
+class TestOverloadRampArrivals:
+    def test_ramp_increases_arrival_rate(self):
+        times = overload_ramp_arrivals(40_000, wcet=400,
+                                       start_load=0.5, peak_load=2.0)
+        assert times[0] == 0
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(0 <= t < 40_000 for t in times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Early gaps ~ wcet/0.5 = 800, late gaps approach wcet/2 = 200.
+        assert gaps[0] > gaps[-1]
+        assert gaps[-1] <= 250
+
+    def test_offered_load_is_parameterized(self):
+        # Doubling the peak load roughly doubles the arrival count.
+        low = overload_ramp_arrivals(40_000, 400, 1.0, 1.0)
+        high = overload_ramp_arrivals(40_000, 400, 2.0, 2.0)
+        assert len(low) == 100  # flat load 1.0: one arrival per wcet
+        assert len(high) == 200
+
+    def test_deterministic_per_seed(self):
+        a = overload_ramp_arrivals(40_000, 400, 0.5, 2.5, jitter=0.3, seed=3)
+        b = overload_ramp_arrivals(40_000, 400, 0.5, 2.5, jitter=0.3, seed=3)
+        c = overload_ramp_arrivals(40_000, 400, 0.5, 2.5, jitter=0.3, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_horizon_boundary(self):
+        assert overload_ramp_arrivals(0, 400, 1.0, 2.0) == []
+        times = overload_ramp_arrivals(401, 400, 1.0, 1.0)
+        assert times == [0, 400]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overload_ramp_arrivals(-1, 400, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            overload_ramp_arrivals(100, 0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            overload_ramp_arrivals(100, 400, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            overload_ramp_arrivals(100, 400, 1.0, 2.0, jitter=1.0)
