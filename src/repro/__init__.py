@@ -28,6 +28,12 @@ minor versions.  A typical deployment needs nothing beyond::
     system.activate(task.validate())
     system.run()
 
+The engine's pending-event set is swappable: ``HadesSystem(backend=
+"calendar")`` (or the ``REPRO_SIM_BACKEND`` environment variable)
+selects the calendar-queue core, proven trace-identical to the heapq
+reference by ``tests/test_backend_conformance.py``; see
+:func:`available_backends` / :func:`resolve_backend`.
+
 Deeper layers remain importable for research use:
 
 * :mod:`repro.core` — the HEUG task model, dispatcher, cost model,
@@ -77,15 +83,19 @@ from repro.scheduling import (
     SpringScheduler,
 )
 from repro.sim.engine import Simulator
+from repro.sim.event_set import available_backends, resolve_backend
 from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # deployment facade
     "HadesSystem",
     "Simulator",
+    # engine backend selection
+    "available_backends",
+    "resolve_backend",
     # HEUG task model
     "Task",
     "CodeEU",

@@ -10,11 +10,18 @@ Simulated time is an integer number of microseconds.  Determinism is a
 hard requirement: given identical inputs (including random seeds), two
 runs produce identical traces.  Ties between events scheduled for the
 same instant are broken by insertion order.
+
+The pending-event set is swappable (:mod:`repro.sim.event_set`):
+``Simulator(backend="heapq")`` is the reference binary-heap core,
+``backend="calendar"`` a calendar-queue core tuned for timeout/cancel
+heavy workloads.  Both are proven observably identical by the
+differential harness in ``tests/test_backend_conformance.py``.
 """
 
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    CalendarSimulator,
     Event,
     Interrupt,
     Process,
@@ -23,12 +30,26 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.event_set import (
+    BACKEND_ENV,
+    CalendarEventSet,
+    EventSet,
+    HeapEventSet,
+    available_backends,
+    make_event_set,
+    resolve_backend,
+)
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BACKEND_ENV",
+    "CalendarEventSet",
+    "CalendarSimulator",
     "Event",
+    "EventSet",
+    "HeapEventSet",
     "Interrupt",
     "Process",
     "ProcessKilled",
@@ -37,4 +58,7 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "available_backends",
+    "make_event_set",
+    "resolve_backend",
 ]

@@ -28,12 +28,28 @@ mechanisms keep them down:
 * **Deferred naming** — the default ``timeout(delay)`` display name is
   formatted on first access, not at construction, so the million-event
   case never pays string interpolation.
+
+The pending set itself is a swappable backend (:mod:`repro.sim.event_set`):
+``Simulator(backend="heapq")`` is the reference binary-heap core with
+the hot loops below inlined over its storage; ``backend="calendar"``
+selects :class:`CalendarSimulator`, whose loops drain exact-time
+buckets instead.  Both flavours are differential-tested to be
+observably indistinguishable (``tests/test_backend_conformance.py``).
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.event_set import (
+    WHEEL_SPAN as _WHEEL_SPAN,
+    _WHEEL_MASK,
+    CalendarEventSet,
+    HeapEventSet,
+    available_backends,
+    resolve_backend,
+)
 
 
 class SimulationError(RuntimeError):
@@ -399,9 +415,15 @@ class Process(Event):
         else:
             # Fast path: the yielded object is a plain Event (isinstance
             # is checked on the slow path only for the error message).
+            # ``add_callback`` is inlined: pending events append, an
+            # already-dispatched event resumes immediately.
             if isinstance(next_event, Event):
                 self._waiting_on = next_event
-                next_event.add_callback(self._resume)
+                callbacks = next_event._callbacks
+                if callbacks is not None:
+                    callbacks.append(self._resume)
+                else:
+                    self._resume(next_event)
             else:
                 self._wait_for(next_event)
 
@@ -438,14 +460,36 @@ class Simulator:
     events scheduled/fired/cancelled counters and a heap-depth gauge.
     With metrics disabled the hot path skips the updates entirely
     behind one cached boolean.
+
+    ``backend`` names the pending-event set implementation: ``"heapq"``
+    (this class, the reference) or ``"calendar"``
+    (:class:`CalendarSimulator`).  An explicit argument wins over the
+    ``REPRO_SIM_BACKEND`` environment variable, which wins over the
+    heapq default; unknown names raise :class:`ValueError`.
+    Constructing ``Simulator(backend="calendar")`` returns the
+    subclass, so ``isinstance(sim, Simulator)`` holds for every
+    backend.
     """
 
-    def __init__(self, metrics=None):
+    #: Registry name of this flavour's event-set backend.
+    backend_name = "heapq"
+
+    def __new__(cls, metrics=None, backend=None):
+        if cls is Simulator:
+            cls = _SIMULATOR_CLASSES[resolve_backend(backend)]
+        return object.__new__(cls)
+
+    def __init__(self, metrics=None, backend=None):
         from repro.obs.metrics import resolve_metrics
 
+        if backend is not None and resolve_backend(backend) != self.backend_name:
+            raise ValueError(
+                f"backend {backend!r} does not match "
+                f"{type(self).__name__} (backend {self.backend_name!r}); "
+                f"available backends: {', '.join(available_backends())}")
+        self.backend = self.backend_name
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Event]] = []
-        self._sequence = 0
+        self._bind_event_storage()
         self._uncaught: List[BaseException] = []
         self.metrics = resolve_metrics(metrics)
         self._m_scheduled = self.metrics.counter("engine.events_scheduled")
@@ -456,6 +500,17 @@ class Simulator:
         # Cached flag keeping the per-event metric updates off the hot
         # path when metrics are disabled (the default).
         self._instrumented = self.metrics.enabled
+
+    def _bind_event_storage(self) -> None:
+        # The engine's hot loops own the event set's storage directly
+        # (``self._heap`` is the *same list* as ``self.events._heap``)
+        # and keep their own tie-break counter, so pushing through
+        # ``self.events`` must not be mixed with engine scheduling on a
+        # live simulator.  ``self.events`` is the contract object the
+        # conformance harness exercises standalone.
+        self.events = HeapEventSet()
+        self._heap: List[Tuple[int, int, Event]] = self.events._heap
+        self._sequence = 0
 
     # -- event factories ------------------------------------------------
 
@@ -591,3 +646,317 @@ class Simulator:
         if until is not None:
             self.now = until
         return None
+
+
+# Bound C constructor for the calendar flavour's inlined timeout()
+# fast path (Timeout defines __slots__ only, so object.__new__ is the
+# whole allocation).
+_new_timeout = object.__new__
+
+
+class CalendarSimulator(Simulator):
+    """Simulator flavour backed by the calendar-queue event set.
+
+    Same observable semantics as the heapq reference — same-instant
+    FIFO, tombstone pops advancing time, ``run(until=)`` bound
+    re-checks — with the drain loop specialized for the ring layout:
+    one slot walk per *instant* instead of one heap operation per
+    event, ``self.now`` written once per instant, no per-event tuple
+    allocation, and no sequence counter for in-window traffic.  See
+    :class:`repro.sim.event_set.CalendarEventSet` for the bucket
+    policy and ``tests/test_backend_conformance.py`` for the
+    differential proof of equivalence.
+    """
+
+    backend_name = "calendar"
+
+    def _bind_event_storage(self) -> None:
+        # As in the base class, the hot loops below reach into the
+        # event set's storage directly; ``self.events`` is the shared
+        # contract object.
+        self.events = CalendarEventSet()
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        # Inlined CalendarEventSet.push, with two engine liberties the
+        # standalone set cannot take: no past-push guard (delays are
+        # non-negative, so ``time >= now``), and the window anchored on
+        # ``self.now`` rather than ``_scan_time`` — the bulk drain
+        # advances ``now`` per instant but settles ``_scan_time`` only
+        # at the end, and anchoring on the stale value would send every
+        # mid-drain push to overflow.  The layout invariants survive
+        # because pending times never trail ``now``: a slot collision
+        # would need two pending instants ``WHEEL_SPAN`` apart with the
+        # later one in-window, putting the earlier behind ``now``; and
+        # ``now`` is monotone, so per target instant "in-window" stays
+        # a latched property (overflow entries predate ring entries).
+        event._scheduled = True
+        events = self.events
+        time = self.now + delay
+        if delay < _WHEEL_SPAN:
+            events._ring[time & _WHEEL_MASK].append(event)
+            events._wheel_count += 1
+        else:
+            events._sequence += 1
+            heapq.heappush(events._overflow, (time, events._sequence, event))
+        events._size += 1
+        if self._instrumented:
+            self._m_scheduled.inc()
+            self._m_heap_depth.set(events._size)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now.
+
+        Calendar fast path: builds the :class:`Timeout` without the
+        ``__init__`` -> ``_schedule_event`` call chain — the field
+        assignments mirror ``Timeout.__init__`` and the scheduling
+        mirrors :meth:`_schedule_event`; keep all three in sync.
+        """
+        if delay.__class__ is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        event = _new_timeout(Timeout)
+        event.sim = self
+        event._name = ""
+        event._value = _PENDING
+        event._exception = None
+        event._callbacks = []
+        event._scheduled = True
+        event._cancelled = False
+        event._scheduled_value = value
+        event._delay = delay
+        events = self.events
+        if delay < _WHEEL_SPAN:
+            events._ring[(self.now + delay) & _WHEEL_MASK].append(event)
+            events._wheel_count += 1
+        else:
+            events._sequence += 1
+            heapq.heappush(events._overflow,
+                           (self.now + delay, events._sequence, event))
+        events._size += 1
+        if self._instrumented:
+            self._m_scheduled.inc()
+            self._m_heap_depth.set(events._size)
+        return event
+
+    # -- execution ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (not yet dispatched) event triggers.
+
+        Tombstones included, as in the reference backend.  Exact
+        whenever the simulator is quiescent (between ``run``/``step``
+        calls); the bulk drain loop settles the count once per instant,
+        so a callback sampling ``pending`` mid-instant may see the
+        slot's already-dispatched events still counted.
+        """
+        return self.events._size
+
+    def step(self) -> bool:
+        """Dispatch the next scheduled event.  Returns False when idle.
+
+        Tombstone semantics match the reference backend: a cancelled
+        entry advances virtual time to its instant but runs nothing.
+        """
+        events = self.events
+        while events._size:
+            time, event = events.pop()
+            if time < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = time
+            if event._cancelled:
+                if self._instrumented:
+                    self._m_cancelled_skips.inc()
+                continue
+            if self._instrumented:
+                self._m_fired.inc()
+            event._dispatch()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None,
+            until_event: Optional[Event] = None) -> Any:
+        """Run until the schedule drains, ``until`` is reached, or
+        ``until_event`` triggers.
+
+        Returns ``until_event``'s value if given and triggered.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        events = self.events
+        if until is None and until_event is None:
+            if self._instrumented:
+                while self.step():
+                    pass
+                return None
+            if not events._size:
+                return None
+            # Tight drain loop, one ring walk per instant.  The inner
+            # loop is the C list iterator, which picks up appends *at*
+            # the instant being drained (immediate events, process
+            # starts) in push order; ``len(slot)`` after the loop is
+            # therefore the full consumed count.  Interrupted mid-slot
+            # (a dispatch raising), the persisted state simply replays
+            # the instant: already dispatched events are no-ops and
+            # the counters settle once the slot finally retires.
+            ring = events._ring
+            overflow = events._overflow
+            heappop = heapq.heappop
+            pending_marker = _PENDING
+            timeout_cls = Timeout
+            t = events._scan_time
+            idx = events._slot_idx
+            try:
+                while events._size:
+                    if events._wheel_count:
+                        if idx == 0 and overflow and overflow[0][0] <= t:
+                            # Overflow entries due at this instant
+                            # predate every ring entry for it — drain
+                            # them first.  ``t`` may rewind to the
+                            # popped time; the instants in between hold
+                            # only cleared slots, so re-walking is safe.
+                            time, _seq, event = heappop(overflow)
+                            events._size -= 1
+                            if time < self.now:
+                                raise SimulationError(
+                                    "event scheduled in the past")
+                            self.now = t = time
+                            if not event._cancelled:
+                                event._dispatch()
+                            continue
+                        slot = ring[t & _WHEEL_MASK]
+                        if idx:
+                            # Finish a slot left half-drained by step()
+                            # / run(until=): indexed, so entries before
+                            # the cursor are not replayed, and counted
+                            # per entry so the cursor persisted by the
+                            # ``finally`` is always consistent.
+                            if idx < len(slot):
+                                if t < self.now:
+                                    raise SimulationError(
+                                        "event scheduled in the past")
+                                self.now = t
+                                while idx < len(slot):
+                                    event = slot[idx]
+                                    idx += 1
+                                    events._size -= 1
+                                    events._wheel_count -= 1
+                                    if not event._cancelled:
+                                        event._dispatch()
+                            slot.clear()
+                            idx = 0
+                        elif slot:
+                            if t < self.now:
+                                raise SimulationError(
+                                    "event scheduled in the past")
+                            self.now = t
+                            for event in slot:
+                                if event._cancelled:
+                                    continue
+                                if type(event) is timeout_cls:
+                                    # Monomorphic Timeout._dispatch,
+                                    # inlined (the dominant event type
+                                    # by far — keep in sync with the
+                                    # method).
+                                    if event._value is pending_marker:
+                                        event._value = \
+                                            event._scheduled_value
+                                    callbacks = event._callbacks
+                                    if callbacks is None:
+                                        continue
+                                    event._callbacks = None
+                                    if len(callbacks) == 1:
+                                        callbacks[0](event)
+                                    else:
+                                        for callback in callbacks:
+                                            callback(event)
+                                else:
+                                    event._dispatch()
+                            n = len(slot)
+                            events._size -= n
+                            events._wheel_count -= n
+                            slot.clear()
+                        t += 1
+                        continue
+                    # Pure-overflow stretch: clear the consumed slot
+                    # before the walk position jumps (slot reuse
+                    # safety), then drain reference-style.
+                    if idx:
+                        ring[t & _WHEEL_MASK].clear()
+                        idx = 0
+                    time, _seq, event = heappop(overflow)
+                    events._size -= 1
+                    if time < self.now:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = t = time
+                    if not event._cancelled:
+                        event._dispatch()
+            finally:
+                if events._size:
+                    # A dispatch raised mid-drain: persist the walk
+                    # cursor so a later run resumes where this one
+                    # stopped.  The interrupted instant replays — its
+                    # counters were not settled yet and re-dispatching
+                    # is idempotent — so the state stays consistent.
+                    events._scan_time = t
+                    events._slot_idx = idx
+                else:
+                    # All slots are clear; re-anchor the window at the
+                    # current instant so post-run pushes at ``now``
+                    # stay in order.
+                    events._scan_time = self.now
+                    events._slot_idx = 0
+            return None
+        while events._size:
+            if until_event is not None and until_event.triggered:
+                return until_event.value
+            next_time = events.peek_time()
+            if until is not None and next_time > until:
+                self._advance_to(until)
+                return None
+            # One entry per iteration, bound re-checked against the new
+            # head after every tombstone pop — the same edge contract
+            # as the reference backend.
+            time, event = events.pop()
+            if time < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = time
+            if event._cancelled:
+                if self._instrumented:
+                    self._m_cancelled_skips.inc()
+                continue
+            if self._instrumented:
+                self._m_fired.inc()
+            event._dispatch()
+        if until_event is not None and until_event.triggered:
+            return until_event.value
+        if until is not None:
+            self._advance_to(until)
+        return None
+
+    def _advance_to(self, until: int) -> None:
+        # ``now`` jumps to the run bound without a pop, so the window
+        # anchor must follow: later pushes anchor the in-window test on
+        # ``now``, and with a lagging anchor an entry at ``T`` would
+        # alias into the slot the pop walk reaches at ``T - WHEEL_SPAN``
+        # and fire early.  Every instant <= ``until`` has been drained
+        # here, so the slot at the old anchor holds only consumed
+        # entries — clearing it before the jump is the same dirty-slot
+        # discipline the pop walk follows.
+        events = self.events
+        if events._slot_idx:
+            events._ring[events._scan_time & _WHEEL_MASK].clear()
+            events._slot_idx = 0
+        events._scan_time = until
+        self.now = until
+
+
+#: backend name -> Simulator flavour; ``Simulator.__new__`` dispatches
+#: through this so ``Simulator(backend=...)`` returns the right class.
+_SIMULATOR_CLASSES = {
+    Simulator.backend_name: Simulator,
+    CalendarSimulator.backend_name: CalendarSimulator,
+}

@@ -1,0 +1,317 @@
+"""Swappable pending-event set backends for the simulation engine.
+
+The :class:`~repro.sim.engine.Simulator` owns virtual time; *where the
+pending events live* is a backend decision.  Every backend implements
+the same small contract (the :class:`EventSet` interface) so the engine
+core can be swapped without touching the event/process layer, and so a
+differential harness (``tests/test_backend_conformance.py``) can replay
+one operation sequence through two backends and assert identical
+behaviour.
+
+The contract
+------------
+
+* ``push(time, event)`` — schedule ``event`` at absolute ``time``.
+  Pushes arrive with monotonically non-decreasing *current* time: a
+  push never targets an instant earlier than the last popped time.
+* ``pop()`` — remove and return ``(time, event)`` for the entry with
+  the smallest ``(time, insertion order)``.  Raises :class:`IndexError`
+  when empty.  Two entries at the same instant pop in push order —
+  this is the engine's determinism guarantee.
+* ``peek_time()`` — the ``time`` the next ``pop()`` would return, or
+  ``None`` when empty.  Used by the bounded ``run(until=...)`` loop to
+  re-check the bound after every pop without committing to it.
+* ``cancel-tombstone`` — cancellation is *not* an event-set operation.
+  :meth:`repro.sim.engine.Event.cancel` flags the event; the entry
+  stays in the set and still pops in order (the engine skips it at
+  dispatch).  Backends must therefore never reorder or drop cancelled
+  entries: a tombstone transits the set exactly like a live event.
+* ``__len__`` — number of pushed-but-not-popped entries, tombstones
+  included.
+
+Backends
+--------
+
+:class:`HeapEventSet`
+    The reference implementation: one binary heap of
+    ``(time, sequence, event)`` triples (``heapq``).  Simple, O(log n)
+    per operation, and the semantics yardstick every other backend is
+    differential-tested against.
+
+:class:`CalendarEventSet`
+    A calendar queue tuned for the E17 timeout/cancel-heavy shapes,
+    where delays are short and many events share an instant.
+
+    **Bucket policy:** a fixed ring of ``WHEEL_SPAN`` (64) reusable
+    list slots, one per microsecond of a sliding window anchored at
+    the last popped instant.  A push within the window appends to
+    ``ring[time % WHEEL_SPAN]`` — no allocation, no heap operation, no
+    sequence counter, since a plain list preserves push order and the
+    window guarantees each slot maps to at most one pending instant.
+    Pushes at or beyond the window's far edge go to an *overflow*
+    ``(time, sequence, event)`` heap, exactly the reference layout.
+    Popping walks the ring one instant at a time (empty slots cost a
+    single truthiness test), merging in overflow entries when their
+    instant comes up; because the window only ever slides forward, all
+    overflow entries for an instant predate all ring entries for it,
+    so draining overflow first preserves global push order.  Slots are
+    cleared (never freed) when the walk moves past them, keeping the
+    steady state allocation-free.
+
+Selection
+---------
+
+``Simulator(backend=...)`` / ``HadesSystem(backend=...)`` pick a
+backend by name.  An explicit argument wins over the
+``REPRO_SIM_BACKEND`` environment variable, which wins over the
+default (``"heapq"``).  :func:`resolve_backend` implements that
+precedence and rejects unknown names with the list of valid ones.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+#: Environment variable overriding the default backend (but not an
+#: explicit ``backend=`` argument).
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+DEFAULT_BACKEND = "heapq"
+
+#: Width (in microseconds) of the calendar ring.  Power of two so the
+#: slot index is a mask.  64 covers the short-delay traffic the wheel
+#: is for (engine timeouts, kernel quanta, network hops) while keeping
+#: the worst-case empty-slot walk between sparse instants bounded and
+#: cheap; longer delays take the overflow heap, which is simply the
+#: reference layout.
+WHEEL_SPAN = 64
+_WHEEL_MASK = WHEEL_SPAN - 1
+
+
+class EventSet:
+    """Interface for pending-event set backends (see module docstring).
+
+    Concrete backends subclass this for documentation/isinstance
+    purposes only — the engine never dispatches through the base class
+    on its hot paths.
+    """
+
+    #: Registry name of the backend, e.g. ``"heapq"``.
+    name: str = ""
+
+    __slots__ = ()
+
+    def push(self, time: int, event: Any) -> None:
+        """Schedule ``event`` at absolute ``time`` (FIFO within an instant)."""
+        raise NotImplementedError
+
+    def pop(self) -> Tuple[int, Any]:
+        """Remove and return the earliest ``(time, event)``; IndexError if empty."""
+        raise NotImplementedError
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next entry to pop, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class HeapEventSet(EventSet):
+    """Reference backend: a ``heapq`` of ``(time, sequence, event)``.
+
+    The sequence number breaks same-instant ties in push order.  The
+    engine's heapq-flavoured ``Simulator`` shares this storage but
+    inlines push/pop in its hot loops (see the hot-path notes in
+    :mod:`repro.sim.engine`); this class is the plain-spoken contract
+    those inlined loops must match.
+    """
+
+    name = "heapq"
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._sequence = 0
+
+    def push(self, time: int, event: Any) -> None:
+        self._sequence += 1
+        heappush(self._heap, (time, self._sequence, event))
+
+    def pop(self) -> Tuple[int, Any]:
+        time, _seq, event = heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarEventSet(EventSet):
+    """Calendar-queue backend: a sliding ring of slots + overflow heap.
+
+    See the module docstring for the bucket policy.  Internal state:
+
+    * ``_scan_time`` — the window anchor: the instant the pop walk
+      resumes from.  Equals the last popped time (pops are globally
+      monotone), so every future push lands at or after it.
+    * ``_slot_idx`` — consumption cursor into the slot at
+      ``_scan_time``.  Non-zero means that slot is being drained; a
+      same-instant push appends to the live slot and is picked up
+      before the cursor retires, preserving FIFO across events
+      scheduled *during* the instant (immediate events, process
+      starts).  A consumed slot is cleared for reuse only when the
+      walk moves past its instant.
+
+    The window-slide argument for correctness: the anchor never moves
+    backwards, so for a fixed target time "in the window" is a latched
+    property — once one push at time *t* lands in the ring, every
+    later push at *t* does too, and conversely every overflow entry at
+    *t* predates every ring entry at *t*.  Draining overflow first at
+    each instant therefore reproduces exact push order.  Two pending
+    instants can never share a ring slot: a colliding time would have
+    to be a full ``WHEEL_SPAN`` away from an instant that is still at
+    or ahead of the anchor, which the window test sends to overflow.
+    """
+
+    name = "calendar"
+
+    __slots__ = ("_ring", "_overflow", "_sequence", "_size",
+                 "_wheel_count", "_scan_time", "_slot_idx")
+
+    def __init__(self) -> None:
+        self._ring: List[List[Any]] = [[] for _ in range(WHEEL_SPAN)]
+        self._overflow: List[Tuple[int, int, Any]] = []
+        self._sequence = 0
+        self._size = 0
+        self._wheel_count = 0
+        self._scan_time = 0
+        self._slot_idx = 0
+
+    def push(self, time: int, event: Any) -> None:
+        delta = time - self._scan_time
+        if delta < WHEEL_SPAN:
+            if delta < 0:
+                raise ValueError(
+                    f"push at {time} is before the last popped instant "
+                    f"{self._scan_time}")
+            self._ring[time & _WHEEL_MASK].append(event)
+            self._wheel_count += 1
+        else:
+            self._sequence += 1
+            heappush(self._overflow, (time, self._sequence, event))
+        self._size += 1
+
+    def pop(self) -> Tuple[int, Any]:
+        if not self._size:
+            raise IndexError("pop from an empty event set")
+        overflow = self._overflow
+        ring = self._ring
+        if not self._wheel_count:
+            # Pure-overflow stretch; the walk would find nothing.  The
+            # consumed slot at the old anchor must be cleared before
+            # the anchor jumps, or a later instant mapping to the same
+            # slot would replay its entries.
+            if self._slot_idx:
+                ring[self._scan_time & _WHEEL_MASK].clear()
+                self._slot_idx = 0
+            time, _seq, event = heappop(overflow)
+            self._scan_time = time
+            self._size -= 1
+            return time, event
+        t = self._scan_time
+        idx = self._slot_idx
+        o_head = overflow[0][0] if overflow else None
+        while True:
+            if o_head is not None and o_head <= t:
+                # Overflow entries for this instant predate every ring
+                # entry for it (window-slide argument) — drain first.
+                # This can only fire with idx == 0: a push at the
+                # half-drained anchor instant is inside the window.
+                time, _seq, event = heappop(overflow)
+                self._scan_time = time
+                self._slot_idx = 0
+                self._size -= 1
+                return time, event
+            slot = ring[t & _WHEEL_MASK]
+            if idx < len(slot):
+                event = slot[idx]
+                self._scan_time = t
+                self._slot_idx = idx + 1
+                self._size -= 1
+                self._wheel_count -= 1
+                return t, event
+            if idx:
+                slot.clear()
+                idx = 0
+            t += 1
+
+    def peek_time(self) -> Optional[int]:
+        if not self._size:
+            return None
+        overflow = self._overflow
+        if not self._wheel_count:
+            return overflow[0][0]
+        ring = self._ring
+        t = self._scan_time
+        idx = self._slot_idx
+        o_head = overflow[0][0] if overflow else None
+        while True:
+            if o_head is not None and o_head <= t:
+                return o_head
+            slot = ring[t & _WHEEL_MASK]
+            if idx < len(slot):
+                return t
+            # Pure walk: empty/consumed slots are left for pop() to
+            # clear — peeking must not disturb the pending state.
+            idx = 0
+            t += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+
+#: name -> EventSet class; the engine's Simulator subclasses mirror
+#: this registry (see ``repro.sim.engine._SIMULATOR_CLASSES``).
+EVENT_SET_BACKENDS = {
+    HeapEventSet.name: HeapEventSet,
+    CalendarEventSet.name: CalendarEventSet,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered event-set backends, sorted."""
+    return tuple(sorted(EVENT_SET_BACKENDS))
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name: explicit arg > ``REPRO_SIM_BACKEND`` > default.
+
+    Raises :class:`ValueError` for unknown names, naming the valid set
+    — a mistyped backend must fail loudly, not silently fall back.
+    """
+    origin = "backend argument"
+    if backend is None:
+        env = os.environ.get(BACKEND_ENV)
+        if env:
+            backend, origin = env, f"{BACKEND_ENV} environment variable"
+        else:
+            return DEFAULT_BACKEND
+    if backend not in EVENT_SET_BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r} (from {origin}); "
+            f"available backends: {', '.join(available_backends())}")
+    return backend
+
+
+def make_event_set(backend: Optional[str] = None) -> EventSet:
+    """Instantiate the event set for ``backend`` (resolved per precedence)."""
+    return EVENT_SET_BACKENDS[resolve_backend(backend)]()

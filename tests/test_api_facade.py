@@ -1,4 +1,5 @@
-"""The stable public facade, the metrics= contract, and trace filtering."""
+"""The stable public facade, the metrics= contract, trace filtering,
+and the event-set backend selection plumbing."""
 
 import io
 import json
@@ -13,6 +14,8 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     resolve_metrics,
 )
+from repro.sim.engine import CalendarSimulator, Simulator
+from repro.sim.event_set import BACKEND_ENV
 from repro.sim.trace import TraceRecord, Tracer
 from repro.system import HadesSystem
 
@@ -46,6 +49,78 @@ class TestFacade:
         inst = system.activate(task.validate())
         system.run()
         assert inst.response_time == 10
+
+
+class TestBackendSelection:
+    """Plumbing for the swappable event-set core: precedence is
+    explicit ``backend=`` argument > ``REPRO_SIM_BACKEND`` environment
+    override > the heapq default."""
+
+    def test_facade_exports_backend_helpers(self):
+        assert "available_backends" in repro.__all__
+        assert "resolve_backend" in repro.__all__
+        from repro.sim.event_set import available_backends as deep
+        assert repro.available_backends is deep
+        assert set(repro.available_backends()) == {"heapq", "calendar"}
+
+    def test_default_is_heapq(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert repro.resolve_backend() == "heapq"
+        system = HadesSystem(node_ids=["n0"])
+        assert system.backend == "heapq"
+        assert type(system.sim) is Simulator
+
+    def test_env_override_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "calendar")
+        assert repro.resolve_backend() == "calendar"
+        system = HadesSystem(node_ids=["n0"])
+        assert system.backend == "calendar"
+        assert type(system.sim) is CalendarSimulator
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "calendar")
+        assert repro.resolve_backend("heapq") == "heapq"
+        system = HadesSystem(node_ids=["n0"], backend="heapq")
+        assert system.backend == "heapq"
+        assert type(system.sim) is Simulator
+
+    def test_system_backend_passthrough(self):
+        system = HadesSystem(node_ids=["n0"], backend="calendar")
+        assert system.backend == "calendar"
+        assert type(system.sim) is CalendarSimulator
+        assert system.sim.backend == "calendar"
+
+    @pytest.mark.parametrize("bad", ["nope", "HEAPQ", "calender", ""])
+    def test_invalid_backend_name_raises_clear_error(self, bad):
+        with pytest.raises(ValueError) as excinfo:
+            HadesSystem(node_ids=["n0"], backend=bad)
+        message = str(excinfo.value)
+        assert repr(bad) in message
+        assert "heapq" in message and "calendar" in message
+        with pytest.raises(ValueError):
+            Simulator(backend=bad)
+
+    def test_invalid_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        with pytest.raises(ValueError) as excinfo:
+            HadesSystem(node_ids=["n0"])
+        assert BACKEND_ENV in str(excinfo.value)
+
+    def test_backends_behave_identically_through_facade(self):
+        responses = {}
+        for backend in repro.available_backends():
+            system = repro.HadesSystem(node_ids=["n0"],
+                                       costs=repro.DispatcherCosts.zero(),
+                                       backend=backend)
+            task = repro.Task("t", deadline=1_000, node_id="n0")
+            task.code_eu("a", wcet=10)
+            inst = system.activate(task.validate())
+            system.run()
+            responses[backend] = inst.response_time
+        assert set(responses.values()) == {10}
+
+    def test_version_bumped_for_backend_surface(self):
+        assert repro.__version__ == "1.3.0"
 
 
 class TestResolveMetrics:

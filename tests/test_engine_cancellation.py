@@ -1,9 +1,11 @@
 """Engine hot-path semantics: lazy tombstoning and slotted classes.
 
-The optimization contract: ``Event.cancel()`` marks the event as a heap
-tombstone that is *skipped at pop* (the heap is never re-heapified),
-with time still advancing to the tombstone's scheduled instant — the
-exact observable behavior a stale-but-firing timer used to have.
+The optimization contract: ``Event.cancel()`` marks the event as a
+tombstone in the pending-event set that is *skipped at pop* (the set is
+never compacted eagerly), with time still advancing to the tombstone's
+scheduled instant — the exact observable behavior a stale-but-firing
+timer used to have.  The ``sim`` fixture (tests/conftest.py) runs every
+test here on every event-set backend.
 """
 
 import pytest
@@ -13,8 +15,7 @@ from repro.sim.engine import Event, Process, Simulator, SimulationError, Timeout
 
 
 class TestCancelSemantics:
-    def test_cancelled_timeout_never_fires(self):
-        sim = Simulator()
+    def test_cancelled_timeout_never_fires(self, sim):
         fired = []
         timer = sim.timeout(10)
         timer.add_callback(lambda evt: fired.append(evt))
@@ -24,23 +25,20 @@ class TestCancelSemantics:
         assert timer.cancelled
         assert not timer.triggered
 
-    def test_cancel_is_idempotent(self):
-        sim = Simulator()
+    def test_cancel_is_idempotent(self, sim):
         timer = sim.timeout(5)
         timer.cancel()
         timer.cancel()  # no-op, no raise
         assert timer.cancelled
 
-    def test_cancel_after_trigger_raises(self):
-        sim = Simulator()
+    def test_cancel_after_trigger_raises(self, sim):
         timer = sim.timeout(5)
         sim.run()
         assert timer.triggered
         with pytest.raises(SimulationError):
             timer.cancel()
 
-    def test_succeed_after_cancel_raises(self):
-        sim = Simulator()
+    def test_succeed_after_cancel_raises(self, sim):
         event = sim.event("e")
         event.cancel()
         with pytest.raises(SimulationError):
@@ -48,16 +46,14 @@ class TestCancelSemantics:
         with pytest.raises(SimulationError):
             event.fail(RuntimeError("x"))
 
-    def test_tombstone_pop_still_advances_now(self):
+    def test_tombstone_pop_still_advances_now(self, sim):
         # A cancelled timer must leave sim.now exactly where a stale
         # firing timer would have: at the tombstone's scheduled time.
-        sim = Simulator()
         sim.timeout(100).cancel()
         sim.run()
         assert sim.now == 100
 
-    def test_tombstones_do_not_disturb_live_event_order(self):
-        sim = Simulator()
+    def test_tombstones_do_not_disturb_live_event_order(self, sim):
         order = []
         for delay in (10, 20, 30):
             sim.timeout(delay).add_callback(
@@ -69,8 +65,8 @@ class TestCancelSemantics:
         assert order == [10, 20, 30]
         assert sim.now == 35
 
-    def test_cancelled_skips_counter(self):
-        sim = Simulator(metrics=MetricsRegistry())
+    def test_cancelled_skips_counter(self, backend):
+        sim = Simulator(metrics=MetricsRegistry(), backend=backend)
         for _ in range(7):
             sim.timeout(3).cancel()
         sim.timeout(4)
@@ -78,8 +74,7 @@ class TestCancelSemantics:
         assert sim.metrics.counter("engine.cancelled_skips").value == 7
         assert sim.metrics.counter("engine.events_fired").value == 1
 
-    def test_run_until_respects_tombstones(self):
-        sim = Simulator()
+    def test_run_until_respects_tombstones(self, sim):
         fired = []
         sim.timeout(10).cancel()
         sim.timeout(20).add_callback(lambda evt: fired.append(sim.now))
@@ -96,15 +91,13 @@ class TestSlots:
         lambda sim: sim.timeout(1),
         lambda sim: sim.process(iter(())),
     ])
-    def test_no_instance_dict(self, make):
-        sim = Simulator()
+    def test_no_instance_dict(self, sim, make):
         obj = make(sim)
         assert not hasattr(obj, "__dict__")
         with pytest.raises(AttributeError):
             obj.arbitrary_new_attribute = 1
 
-    def test_timeout_name_is_lazy_but_stable(self):
-        sim = Simulator()
+    def test_timeout_name_is_lazy_but_stable(self, sim):
         timer = sim.timeout(42)
         assert timer.name == "timeout(42)"
         timer.name = "custom"

@@ -11,10 +11,8 @@ from repro.sim import (
     Simulator,
 )
 
-
-@pytest.fixture
-def sim():
-    return Simulator()
+# The ``sim`` fixture comes from tests/conftest.py and parametrizes
+# every test here over all event-set backends.
 
 
 class TestEngineEdges:

@@ -13,10 +13,8 @@ from repro.sim import (
     Tracer,
 )
 
-
-@pytest.fixture
-def sim():
-    return Simulator()
+# The ``sim`` fixture comes from tests/conftest.py and parametrizes
+# every test here over all event-set backends.
 
 
 class TestEvent:

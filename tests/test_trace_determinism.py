@@ -14,10 +14,10 @@ HORIZON = 300_000
 NODES = ["n0", "n1", "n2"]
 
 
-def run_scenario(jsonl_path):
+def run_scenario(jsonl_path, backend=None):
     system = HadesSystem(node_ids=NODES, costs=DispatcherCosts.zero(),
                          network_jitter=25, seed=7, metrics=True,
-                         on_deadline_miss="record")
+                         on_deadline_miss="record", backend=backend)
     for i, node_id in enumerate(NODES):
         task = Task(f"pipe{i}", deadline=60_000,
                     arrival=Periodic(period=40_000, phase=i * 3_000))
@@ -35,9 +35,9 @@ def run_scenario(jsonl_path):
     return system
 
 
-def test_two_runs_export_identical_jsonl(tmp_path):
-    first = run_scenario(tmp_path / "run1.jsonl")
-    second = run_scenario(tmp_path / "run2.jsonl")
+def test_two_runs_export_identical_jsonl(tmp_path, backend):
+    first = run_scenario(tmp_path / "run1.jsonl", backend=backend)
+    second = run_scenario(tmp_path / "run2.jsonl", backend=backend)
     bytes1 = (tmp_path / "run1.jsonl").read_bytes()
     bytes2 = (tmp_path / "run2.jsonl").read_bytes()
     assert len(first.tracer) > 50  # the scenario actually did something
@@ -46,6 +46,21 @@ def test_two_runs_export_identical_jsonl(tmp_path):
     # end at the same simulated time with the same record count).
     assert first.run_report().to_dict() == second.run_report().to_dict()
     assert first.run_report().counter("network.messages_dropped") > 0
+
+
+def test_export_identical_across_backends(tmp_path):
+    """The trace contract holds *across* event-set backends, byte for
+    byte — the property the swappable engine core rests on."""
+    from tests.conftest import BACKENDS
+
+    exports = {}
+    for backend in BACKENDS:
+        path = tmp_path / f"{backend}.jsonl"
+        run_scenario(path, backend=backend)
+        exports[backend] = path.read_bytes()
+    reference = BACKENDS[0]
+    for backend in BACKENDS[1:]:
+        assert exports[backend] == exports[reference]
 
 
 def test_streaming_export_matches_post_hoc_export(tmp_path):

@@ -35,11 +35,12 @@ SEEDS = list(range(24))
 IRQ_PRIO = 1_000  # PRIO_MAX: kernel interrupt handlers
 
 
-def build_workload(seed):
+def build_workload(seed, backend=None):
     """Random DAG tasks + one guaranteed-miss task (+ sporadic abuse)."""
     rng = random.Random(seed)
     system = HadesSystem(node_ids=list(NODES), costs=DispatcherCosts.zero(),
-                         metrics=True, on_deadline_miss="record")
+                         metrics=True, on_deadline_miss="record",
+                         backend=backend)
     tasks = []
     prios = list(range(10, 60))
     rng.shuffle(prios)
@@ -167,8 +168,9 @@ class Replay:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_trace_replay_invariants(seed):
-    system, tasks, earliest_offsets, expect_arrival = build_workload(seed)
+def test_trace_replay_invariants(seed, backend):
+    system, tasks, earliest_offsets, expect_arrival = build_workload(
+        seed, backend=backend)
     system.run()
     graphs = {task.name: task for task in tasks}
 
@@ -220,3 +222,24 @@ def test_trace_replay_invariants(seed):
     assert system.monitor.count(ViolationKind.DEADLINE_MISS) >= 1
     if expect_arrival:
         assert system.monitor.count(ViolationKind.ARRIVAL_LAW) >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_trace_identical_across_backends(seed):
+    """Cross-backend determinism: every seed's full trace (records and
+    details) and metric report must agree between the heapq reference
+    and every other event-set backend."""
+    from tests.conftest import BACKENDS
+
+    captured = {}
+    for backend in BACKENDS:
+        system, *_ = build_workload(seed, backend=backend)
+        system.run()
+        records = [(rec.time, rec.category, rec.event, rec.details)
+                   for rec in system.tracer.records]
+        captured[backend] = (records, system.run_report().to_dict())
+    reference = BACKENDS[0]
+    assert len(captured[reference][0]) > 50
+    for backend in BACKENDS[1:]:
+        assert captured[backend] == captured[reference], \
+            f"seed {seed}: backend {backend} diverges from {reference}"
