@@ -325,6 +325,14 @@ def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if "--write" in argv:
         results = measure()
+        if BASELINE_PATH.exists():
+            # BENCH_engine.json is shared with other experiments'
+            # sections (e.g. bench_sharded_scaling.py's E21); carry
+            # them over instead of clobbering the file wholesale.
+            previous = json.loads(BASELINE_PATH.read_text())
+            for key, value in previous.items():
+                if key not in results and key.startswith("e"):
+                    results[key] = value
         BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
         _print_results(results)
         print(f"baseline written to {BASELINE_PATH}")

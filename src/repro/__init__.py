@@ -83,11 +83,12 @@ from repro.scheduling import (
     SpringScheduler,
 )
 from repro.sim.engine import Simulator
+from repro.sim.sharded import ShardRunResult, auto_partition, run_sharded
 from repro.sim.event_set import available_backends, resolve_backend
 from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # deployment facade
@@ -135,6 +136,10 @@ __all__ = [
     "Tracer",
     "TraceRecord",
     "load_trace",
+    # sharded conservative parallel simulation
+    "ShardRunResult",
+    "auto_partition",
+    "run_sharded",
     # causal spans, forensics, timeline export
     "SpanForest",
     "reconstruct",

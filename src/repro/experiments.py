@@ -54,6 +54,7 @@ EXPERIMENTS = {
     "E18": "bench_forensics.py",
     "E19": "bench_admission.py",
     "E20": "bench_engine_hotpath.py",
+    "E21": "bench_sharded_scaling.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

@@ -48,12 +48,10 @@ from repro.faults.campaign import (
     Scenario,
     normalise_outcome,
 )
-from repro.obs.metrics import RunReport
+from repro.faults.wire import decode_run as _decode_run
+from repro.faults.wire import encode_run as _encode_run
 
 __all__ = ["CampaignTimeoutError", "run_parallel"]
-
-#: Wire tag marking a metric value that was a RunReport before pickling.
-_REPORT_TAG = "__runreport__"
 
 #: Slack added to every wave deadline, absorbing pool dispatch latency.
 _TIMEOUT_GRACE = 0.5
@@ -61,53 +59,6 @@ _TIMEOUT_GRACE = 0.5
 
 class CampaignTimeoutError(RuntimeError):
     """A seed exceeded the per-seed timeout under ``on_timeout="raise"``."""
-
-
-# --------------------------------------------------------------------------
-# Wire format: what crosses the process boundary
-# --------------------------------------------------------------------------
-
-def _encode_run(metrics: Dict[str, Any],
-                report: Optional[RunReport]) -> Dict[str, Any]:
-    """Flatten one normalised run into a picklable payload.
-
-    Metric-dict insertion order is preserved (a list of triples), and
-    every ``RunReport`` value is replaced by its ``to_dict()`` form so
-    the payload is plain data.  A *bare* report (one not embedded in
-    the metrics dict) travels separately under ``"report"``.
-    """
-    encoded: List[List[Any]] = []
-    embedded = False
-    for key, value in metrics.items():
-        if isinstance(value, RunReport):
-            encoded.append([key, _REPORT_TAG, value.to_dict()])
-            embedded = True
-        else:
-            encoded.append([key, None, value])
-    return {
-        "metrics": encoded,
-        "report": (None if report is None or embedded
-                   else report.to_dict()),
-    }
-
-
-def _decode_run(seed: int, payload: Dict[str, Any],
-                ) -> Tuple[Dict[str, Any], Optional[RunReport]]:
-    """Inverse of :func:`_encode_run`; also decodes worker error runs."""
-    if payload.get("error"):
-        return {"seed": seed, "campaign_error": payload["error"]}, None
-    metrics: Dict[str, Any] = {}
-    for key, tag, value in payload["metrics"]:
-        metrics[key] = (RunReport.from_dict(value) if tag == _REPORT_TAG
-                        else value)
-    # Same first-embedded-report rule as the serial normaliser, so the
-    # object collected into CampaignResult.reports is the one sitting
-    # in the per-run dict.
-    report = next((value for value in metrics.values()
-                   if isinstance(value, RunReport)), None)
-    if report is None and payload.get("report") is not None:
-        report = RunReport.from_dict(payload["report"])
-    return metrics, report
 
 
 def _run_chunk(scenario: Scenario,

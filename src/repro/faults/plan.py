@@ -80,15 +80,48 @@ class FaultPlan:
 
     # -- application ---------------------------------------------------------------
 
+    #: Kinds whose firing consumes one draw from the plan RNG (to seed
+    #: the injected fault's own RNG).
+    _DRAWING_KINDS = frozenset({FaultKind.LINK_OMISSION,
+                                FaultKind.LINK_PERFORMANCE})
+
+    @staticmethod
+    def _event_home(event: FaultEvent) -> Optional[str]:
+        """The node whose shard applies ``event``.
+
+        Node and clock faults live where the node lives; link faults
+        live on the *source* side — every link decision (drops, delays,
+        outages) is taken at transmit time on the sender's replica.
+        """
+        if event.kind in (FaultKind.LINK_DOWN, FaultKind.LINK_UP,
+                          FaultKind.LINK_OMISSION,
+                          FaultKind.LINK_PERFORMANCE):
+            return event.target[0]
+        return event.target
+
     def apply(self, system) -> None:
-        """Schedule every event on the system's simulator."""
+        """Schedule every event on the system's simulator.
+
+        Fault-RNG sub-seeds are drawn *here*, in event order — not at
+        fire time — so every shard replica of a sharded run
+        (``owned_nodes`` set) derives the identical seed for each event
+        while scheduling only the events homed on its own nodes.  The
+        drawn values match the historical fire-time draws exactly:
+        events fire in the same sorted order they are scheduled in.
+        """
         rng = random.Random(self.seed)
+        owned = getattr(system, "owned_nodes", None)
         for event in self.events:
+            sub_seed = (rng.randrange(2 ** 31)
+                        if event.kind in self._DRAWING_KINDS else None)
+            if owned is not None and self._event_home(event) not in owned:
+                continue
             system.sim.call_at(
                 event.time,
-                lambda e=event, r=rng: self._fire(system, e, r))
+                lambda e=event, s=sub_seed: self._fire(system, e, s))
 
-    def _fire(self, system, event: FaultEvent, rng: random.Random) -> None:
+    def _fire(self, system, event: FaultEvent,
+              sub_seed: Optional[int]) -> None:
         kind = event.kind
         if kind is FaultKind.NODE_CRASH:
             system.nodes[event.target].crash()
@@ -102,14 +135,14 @@ class FaultPlan:
             link = system.network.link(*event.target)
             link.add_fault(OmissionFault(
                 probability=event.params.get("probability", 0.1),
-                rng=random.Random(rng.randrange(2 ** 31)),
+                rng=random.Random(sub_seed),
                 max_consecutive=event.params.get("max_consecutive")))
         elif kind is FaultKind.LINK_PERFORMANCE:
             link = system.network.link(*event.target)
             link.add_fault(PerformanceFault(
                 extra_delay=event.params.get("extra_delay", 10_000),
                 probability=event.params.get("probability", 1.0),
-                rng=random.Random(rng.randrange(2 ** 31))))
+                rng=random.Random(sub_seed)))
         elif kind is FaultKind.CLOCK_BYZANTINE:
             clock = system.nodes[event.target].clock
             if not hasattr(clock, "byzantine"):

@@ -570,6 +570,17 @@ class Simulator:
         """
         return len(self._heap)
 
+    def next_event_time(self) -> Optional[int]:
+        """Absolute time of the earliest pending entry, or ``None``.
+
+        Tombstones count: a cancelled entry still advances virtual time
+        when popped, so its instant is a faithful (conservative) lower
+        bound on when this simulator next does *anything*.  This is the
+        earliest-output-time ingredient the sharded coordinator
+        (:mod:`repro.sim.sharded`) synchronizes on.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def step(self) -> bool:
         """Dispatch the next scheduled event.  Returns False when idle.
 
@@ -754,6 +765,15 @@ class CalendarSimulator(Simulator):
         slot's already-dispatched events still counted.
         """
         return self.events._size
+
+    def next_event_time(self) -> Optional[int]:
+        """Absolute time of the earliest pending entry, or ``None``.
+
+        Same contract as the reference backend; the ring walk starts at
+        the settled window anchor, which ``run``/``_advance_to`` leave
+        consistent between calls.
+        """
+        return self.events.peek_time()
 
     def step(self) -> bool:
         """Dispatch the next scheduled event.  Returns False when idle.

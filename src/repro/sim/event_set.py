@@ -14,6 +14,11 @@ The contract
 * ``push(time, event)`` — schedule ``event`` at absolute ``time``.
   Pushes arrive with monotonically non-decreasing *current* time: a
   push never targets an instant earlier than the last popped time.
+  **Every backend enforces this** and raises :class:`ValueError` on a
+  violation — the contract is universal, not a calendar-queue
+  implementation detail, so a buggy caller fails identically under
+  either backend instead of passing on the reference and exploding on
+  the ring.
 * ``pop()`` — remove and return ``(time, event)`` for the entry with
   the smallest ``(time, insertion order)``.  Raises :class:`IndexError`
   when empty.  Two entries at the same instant pop in push order —
@@ -134,18 +139,27 @@ class HeapEventSet(EventSet):
 
     name = "heapq"
 
-    __slots__ = ("_heap", "_sequence")
+    __slots__ = ("_heap", "_sequence", "_last_popped")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Any]] = []
         self._sequence = 0
+        self._last_popped = 0
 
     def push(self, time: int, event: Any) -> None:
+        if time < self._last_popped:
+            # The monotone-push contract, enforced here exactly as the
+            # calendar backend enforces it at its window anchor — a
+            # violating caller must fail on the reference too.
+            raise ValueError(
+                f"push at {time} is before the last popped instant "
+                f"{self._last_popped}")
         self._sequence += 1
         heappush(self._heap, (time, self._sequence, event))
 
     def pop(self) -> Tuple[int, Any]:
         time, _seq, event = heappop(self._heap)
+        self._last_popped = time
         return time, event
 
     def peek_time(self) -> Optional[int]:
@@ -297,10 +311,17 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
     Raises :class:`ValueError` for unknown names, naming the valid set
     — a mistyped backend must fail loudly, not silently fall back.
+    The environment value is stripped first: an *unset, empty or
+    whitespace-only* variable means "no override" (fall back to the
+    default), while any other value must name a real backend — so
+    ``REPRO_SIM_BACKEND=" calendar "`` works and
+    ``REPRO_SIM_BACKEND="calender"`` raises instead of silently
+    running the default.
     """
     origin = "backend argument"
     if backend is None:
         env = os.environ.get(BACKEND_ENV)
+        env = env.strip() if env is not None else ""
         if env:
             backend, origin = env, f"{BACKEND_ENV} environment variable"
         else:

@@ -14,7 +14,7 @@ benchmarks start with::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.costs import DispatcherCosts, KernelActivity
 from repro.core.dispatcher import Dispatcher
@@ -46,7 +46,9 @@ class HadesSystem:
                  metrics: Any = None,
                  trace_maxlen: Optional[int] = None,
                  trace_categories: Optional[Iterable[str]] = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 owned_nodes: Optional[Iterable[str]] = None,
+                 lazy_links: bool = False):
         # ``metrics`` accepts a MetricsRegistry, True (create one), or
         # None/False (disabled — the near-zero-cost default); see
         # :func:`repro.obs.resolve_metrics` for the full contract.
@@ -55,16 +57,30 @@ class HadesSystem:
         # REPRO_SIM_BACKEND environment variable, which wins over the
         # heapq default.  Both backends produce byte-identical traces
         # (tests/test_backend_conformance.py).
+        # ``owned_nodes`` turns this instance into one shard's replica
+        # of the deployment (repro.sim.sharded): every node is built —
+        # foreign nodes are inert stand-ins for link endpoints — but
+        # only the owned subset activates tasks, sends messages or runs
+        # background activity.  ``lazy_links`` defers full-mesh link
+        # construction to first use (see :class:`repro.network.Network`).
         self.metrics = resolve_metrics(metrics)
         self.sim = Simulator(metrics=self.metrics, backend=backend)
         self.backend = self.sim.backend
         self.tracer = Tracer(lambda: self.sim.now, maxlen=trace_maxlen,
                              categories=trace_categories)
         self.monitor = ExecutionMonitor()
+        node_ids = list(node_ids)
+        self.owned_nodes: Optional[frozenset] = None
+        if owned_nodes is not None:
+            self.owned_nodes = frozenset(owned_nodes)
+            unknown = self.owned_nodes - set(node_ids)
+            if unknown:
+                raise ValueError(
+                    f"owned_nodes {sorted(unknown)} are not in node_ids")
         self.network = Network(self.sim, self.tracer,
                                base_latency=network_latency,
                                jitter_bound=network_jitter, seed=seed,
-                               metrics=self.metrics)
+                               metrics=self.metrics, lazy_links=lazy_links)
         self.nodes: Dict[str, Node] = {}
         drifts = clock_drifts or {}
         extra = node_kwargs or {}
@@ -75,20 +91,54 @@ class HadesSystem:
                         metrics=self.metrics, **extra)
             self.nodes[node_id] = node
             self.network.add_node(node)
-            if background_activities:
+            if background_activities and self._owns(node_id):
                 node.start_background_activities()
+        if self.owned_nodes is not None:
+            self.network.set_shard_owner(self.owned_nodes)
         self.network.connect_all()
         self.dispatcher = Dispatcher(self.sim, network=self.network,
                                      costs=costs, tracer=self.tracer,
                                      monitor=self.monitor,
                                      on_deadline_miss=on_deadline_miss,
                                      abort_mode=abort_mode,
-                                     metrics=self.metrics)
+                                     metrics=self.metrics,
+                                     owned_nodes=owned_nodes)
         for node in self.nodes.values():
             self.dispatcher.register_node(node)
         if with_tnetwork:
             for node_id, node in self.nodes.items():
-                install_tnetwork(node, self.network.interfaces[node_id])
+                if self._owns(node_id):
+                    install_tnetwork(node, self.network.interfaces[node_id])
+        # Set by :meth:`scripted`; required for ``run(shards=N)``.
+        self._builder: Optional[Callable[["HadesSystem"], Any]] = None
+        self._scripted_kwargs: Optional[Dict[str, Any]] = None
+
+    def _owns(self, node_id: str) -> bool:
+        """Whether this (possibly shard-replica) system owns ``node_id``."""
+        return self.owned_nodes is None or node_id in self.owned_nodes
+
+    @classmethod
+    def scripted(cls, build: Callable[["HadesSystem"], Any],
+                 **kwargs: Any) -> "HadesSystem":
+        """Create a system from a replayable builder function.
+
+        ``build(system)`` receives the freshly constructed system and
+        registers the whole workload — tasks, schedulers, fault plans,
+        message scripts.  The builder must be deterministic and
+        shard-agnostic: sharded execution (``run(shards=N)``) replays
+        it inside every worker against that worker's shard replica,
+        where activity on foreign nodes silently becomes a no-op.
+        Constructor ``kwargs`` are replayed too, so they must not
+        include ``owned_nodes`` (the sharder assigns it).
+        """
+        if "owned_nodes" in kwargs:
+            raise ValueError("scripted() builds whole systems; "
+                             "owned_nodes is assigned by run(shards=N)")
+        system = cls(**kwargs)
+        system._builder = build
+        system._scripted_kwargs = dict(kwargs)
+        build(system)
+        return system
 
     # -- delegation helpers ------------------------------------------------
 
@@ -105,13 +155,32 @@ class HadesSystem:
         """Issue an activation request for ``task`` (dispatcher shortcut)."""
         return self.dispatcher.activate(task, **kwargs)
 
-    def register_periodic(self, task, **kwargs) -> None:
-        """Drive ``task`` from its periodic arrival law (shortcut)."""
-        self.dispatcher.register_periodic(task, **kwargs)
+    def register_periodic(self, task, **kwargs) -> Any:
+        """Drive ``task`` from its periodic arrival law (shortcut);
+        returns the :class:`~repro.core.dispatcher.PeriodicDriver`."""
+        return self.dispatcher.register_periodic(task, **kwargs)
 
-    def run(self, until: Optional[int] = None) -> None:
-        """Advance simulated time (to ``until``, or until idle)."""
-        self.sim.run(until=until)
+    def run(self, until: Optional[int] = None,
+            shards: Optional[int] = None,
+            partition: Optional[Sequence[Sequence[str]]] = None) -> Any:
+        """Advance simulated time (to ``until``, or until idle).
+
+        With ``shards=N`` (or an explicit ``partition=`` — a list of
+        node-id groups) the run executes as a conservative parallel
+        simulation: nodes are partitioned across N worker processes
+        that synchronize on the network's guaranteed delivery bounds
+        (see :mod:`repro.sim.sharded`).  Requires a system built with
+        :meth:`scripted`.  Returns the
+        :class:`~repro.sim.sharded.ShardRunResult` (with the merged,
+        serial-identical trace loaded back into :attr:`tracer`), or
+        ``None`` for a plain serial run.
+        """
+        if shards is None and partition is None:
+            self.sim.run(until=until)
+            return None
+        from repro.sim.sharded import run_sharded
+        return run_sharded(self, until=until, shards=shards,
+                           partition=partition)
 
     def run_report(self, **meta: Any) -> RunReport:
         """Snapshot this deployment's metrics as a structured report.

@@ -106,6 +106,27 @@ class TestBackendSelection:
             HadesSystem(node_ids=["n0"])
         assert BACKEND_ENV in str(excinfo.value)
 
+    @pytest.mark.parametrize("unset", ["", "   ", "\t", " \n "])
+    def test_empty_or_whitespace_env_means_unset(self, unset, monkeypatch):
+        # `REPRO_SIM_BACKEND= python ...` and stray whitespace must fall
+        # through to the default, not raise.
+        monkeypatch.setenv(BACKEND_ENV, unset)
+        assert repro.resolve_backend() == "heapq"
+        system = HadesSystem(node_ids=["n0"])
+        assert system.backend == "heapq"
+
+    def test_env_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  calendar\n")
+        assert repro.resolve_backend() == "calendar"
+        assert type(HadesSystem(node_ids=["n0"]).sim) is CalendarSimulator
+
+    def test_misspelled_env_value_still_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, " calender ")
+        with pytest.raises(ValueError) as excinfo:
+            repro.resolve_backend()
+        message = str(excinfo.value)
+        assert BACKEND_ENV in message and "'calender'" in message
+
     def test_backends_behave_identically_through_facade(self):
         responses = {}
         for backend in repro.available_backends():
@@ -120,7 +141,7 @@ class TestBackendSelection:
         assert set(responses.values()) == {10}
 
     def test_version_bumped_for_backend_surface(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
 
 class TestResolveMetrics:

@@ -97,6 +97,119 @@ def test_calendar_rejects_push_behind_anchor():
         events.push(9, "late")
 
 
+def test_every_backend_rejects_push_behind_last_pop():
+    """The monotone-push contract is enforced uniformly.
+
+    Historically only the calendar backend raised on a push behind the
+    current instant, so a scheduling bug surfaced under one backend
+    and silently corrupted event order under the other — a divergence
+    the conformance harness could never catch because it only drives
+    contract-conforming interleavings.
+    """
+    for name, backend_cls in EVENT_SET_BACKENDS.items():
+        events = backend_cls()
+        events.push(10, "a")
+        events.push(10, "b")        # same instant stays legal
+        assert events.pop() == (10, "a")
+        events.push(10, "c")        # re-push at the popped instant too
+        match = "before the last popped" if name == "heapq" else None
+        with pytest.raises(ValueError, match=match):
+            events.push(9, "late")
+        # The failed push must not have corrupted the set.
+        assert [events.pop() for _ in range(len(events))] == [
+            (10, "b"), (10, "c")]
+
+
+class TestCalendarEdges:
+    """Targeted ring/overflow boundary cases for the calendar queue."""
+
+    def test_pure_overflow_jump_clears_half_drained_slot(self):
+        # Two entries at instant 0 occupy slot 0; WHEEL_SPAN maps onto
+        # the SAME slot but lives in overflow.  After draining instant
+        # 0 the anchor jumps via the pure-overflow path — which must
+        # clear the consumed slot first, or a later push at the new
+        # anchor instant would replay the instant-0 entries.
+        events = CalendarEventSet()
+        events.push(0, "a0")
+        events.push(0, "a1")
+        events.push(WHEEL_SPAN, "b")  # overflow, slot index 0 again
+        assert events.pop() == (0, "a0")
+        assert events.pop() == (0, "a1")
+        assert events.pop() == (WHEEL_SPAN, "b")
+        # The slot was cleared: same-slot instants keep working.
+        events.push(WHEEL_SPAN, "c")
+        events.push(2 * WHEEL_SPAN, "d")
+        assert events.pop() == (WHEEL_SPAN, "c")
+        assert events.pop() == (2 * WHEEL_SPAN, "d")
+        assert len(events) == 0
+
+    def test_peek_after_pure_overflow_jump(self):
+        events = CalendarEventSet()
+        events.push(0, "a")
+        events.push(WHEEL_SPAN + 3, "b")
+        assert events.pop() == (0, "a")
+        # Peek must report the overflow head without disturbing state,
+        # however many times it is asked.
+        for _ in range(3):
+            assert events.peek_time() == WHEEL_SPAN + 3
+        assert events.pop() == (WHEEL_SPAN + 3, "b")
+        # After the jump the window is re-anchored there: a push just
+        # inside the new window rides the ring, and peek sees it.
+        events.push(WHEEL_SPAN + 3 + (WHEEL_SPAN - 1), "c")
+        assert events.peek_time() == 2 * WHEEL_SPAN + 2
+        assert events.pop() == (2 * WHEEL_SPAN + 2, "c")
+        assert events.peek_time() is None
+
+    def test_window_edge_in_vs_out(self):
+        # Delta WHEEL_SPAN-1 is the last ring instant; WHEEL_SPAN is
+        # the first overflow instant.  Pop order must be identical to
+        # the reference either way.
+        events = CalendarEventSet()
+        events.push(WHEEL_SPAN, "far")      # overflow (anchor 0)
+        events.push(WHEEL_SPAN - 1, "near")  # ring
+        assert events.peek_time() == WHEEL_SPAN - 1
+        assert events.pop() == (WHEEL_SPAN - 1, "near")
+        assert events.pop() == (WHEEL_SPAN, "far")
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.sampled_from([WHEEL_SPAN - 1, WHEEL_SPAN]),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=3))
+    def test_window_edge_differential(self, deltas, pops_between):
+        """Straddling the exact window edge never diverges.
+
+        Every push lands at current + (WHEEL_SPAN-1) (ring) or
+        current + WHEEL_SPAN (overflow, same slot index as the
+        anchor) — the adversarial pair for slot-collision bugs.
+        """
+        reference, candidate = HeapEventSet(), CalendarEventSet()
+        current = 0
+        for i, delta in enumerate(deltas):
+            reference.push(current + delta, i)
+            candidate.push(current + delta, i)
+            assert candidate.peek_time() == reference.peek_time()
+            for _ in range(pops_between):
+                if not len(reference):
+                    break
+                entry = reference.pop()
+                assert candidate.pop() == entry
+                current = entry[0]
+            assert len(candidate) == len(reference)
+        while len(reference):
+            assert candidate.pop() == reference.pop()
+        assert candidate.peek_time() is None
+
+
+def test_heap_backend_rejects_negative_first_push():
+    # Before any pop the floor is instant 0, matching the calendar
+    # backend's anchor-at-zero behaviour.
+    events = HeapEventSet()
+    with pytest.raises(ValueError):
+        events.push(-1, "early")
+    events.push(0, "ok")
+    assert events.pop() == (0, "ok")
+
+
 @settings(max_examples=200, deadline=None)
 @given(st.lists(
     st.one_of(

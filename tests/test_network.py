@@ -316,6 +316,37 @@ class TestLateBoundary:
         assert link.stats[DeliveryOutcome.LATE] == 0
         assert link.stats[DeliveryOutcome.DELIVERED] == 1
 
+    def test_size_dependent_bound_exactly_at_bound_is_not_late(self, sim):
+        # The bound grows with the message size; a max-jitter delivery
+        # of a sized message lands exactly ON guaranteed_bound(size)
+        # and must stay DELIVERED.  Regression: comparing against
+        # guaranteed_bound(0) would flag every sized message LATE.
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100, jitter_bound=50,
+                         jitter=50, size_cost_per_byte=2)
+        message = Message(src="a", dst="b", payload="x", size=64)
+        outcome = link.transmit(message)
+        sim.run()
+        bound = link.guaranteed_bound(64)
+        assert bound == 100 + 2 * 64 + 50
+        assert inbox == [("x", bound)]
+        assert message.deliver_time - message.send_time == bound
+        assert outcome is DeliveryOutcome.DELIVERED
+        assert link.stats[DeliveryOutcome.LATE] == 0
+        assert link.stats[DeliveryOutcome.DELIVERED] == 1
+
+    def test_size_dependent_bound_one_past_is_late(self, sim):
+        inbox = []
+        link = make_link(sim, inbox, base_latency=100, jitter_bound=50,
+                         jitter=50, size_cost_per_byte=2)
+        link.add_fault(PerformanceFault(extra_delay=1))
+        outcome = link.transmit(Message(src="a", dst="b", payload="x",
+                                        size=64))
+        sim.run()
+        assert inbox == [("x", link.guaranteed_bound(64) + 1)]
+        assert outcome is DeliveryOutcome.LATE
+        assert link.stats[DeliveryOutcome.LATE] == 1
+
     def test_fifo_pushback_past_bound_is_late(self, sim):
         # msg1 is delayed way past the bound; msg2 is healthy but FIFO
         # push-back parks it behind msg1 — also past ITS bound: LATE.

@@ -1,0 +1,424 @@
+"""Sharded conservative parallel simulation (repro.sim.sharded).
+
+Unit coverage for the partitioner, trace merge and ownership gating,
+plus small end-to-end serial-vs-sharded equivalence runs.  The 24-seed
+byte-identity harness lives in ``test_sharded_determinism.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.attributes import Periodic
+from repro.core.heug import Task
+from repro.scheduling.edf import EDFScheduler
+from repro.sim.engine import SimulationError
+from repro.sim.sharded import (
+    COLOCATION_WEIGHT,
+    ShardRunResult,
+    _validate_partition,
+    auto_partition,
+    colocation_weights,
+    merge_shard_traces,
+    run_sharded,
+)
+from repro.system import HadesSystem
+
+NODES = ["n0", "n1", "n2", "n3"]
+
+
+def build_pipeline(system):
+    """A shard-agnostic scenario: per-node periodic chains plus
+    phase-staggered cross-pair app messages."""
+    for i, nid in enumerate(NODES):
+        system.attach_scheduler(EDFScheduler(scope=nid))
+        task = Task(f"t{nid}", deadline=5_000,
+                    arrival=Periodic(period=10_000, phase=1_000 + i * 2_300),
+                    node_id=nid)
+        a = task.code_eu("a", wcet=300)
+        b = task.code_eu("b", wcet=200)
+        task.precede(a, b)
+        system.register_periodic(task, count=3)
+    for i, nid in enumerate(NODES):
+        dst = NODES[(i + 2) % 4]
+        iface = system.network.interfaces[nid]
+        for k in range(3):
+            t = 700 + i * 2_300 + k * 10_000
+            system.sim.call_at(
+                t, lambda iface=iface, dst=dst, k=k:
+                iface.send(dst, {"k": k}, size=64))
+
+
+def scripted(**kwargs):
+    kwargs.setdefault("node_ids", NODES)
+    kwargs.setdefault("network_jitter", 25)
+    kwargs.setdefault("seed", 7)
+    return HadesSystem.scripted(build_pipeline, **kwargs)
+
+
+def trace_bytes(system, tmp_path, name):
+    path = tmp_path / name
+    system.tracer.to_jsonl(str(path))
+    return path.read_bytes()
+
+
+# --------------------------------------------------------------------------
+# auto_partition
+# --------------------------------------------------------------------------
+
+class TestAutoPartition:
+    def test_no_weights_contiguous_balanced(self):
+        assert auto_partition(list("abcde"), 2) == [
+            ["a", "b", "c"], ["d", "e"]]
+        assert auto_partition(list("abcd"), 4) == [
+            ["a"], ["b"], ["c"], ["d"]]
+
+    def test_more_shards_than_nodes_clamps(self):
+        assert auto_partition(["a", "b"], 5) == [["a"], ["b"]]
+
+    def test_single_shard_and_empty(self):
+        assert auto_partition(["a", "b"], 1) == [["a", "b"]]
+        assert auto_partition([], 3) == []
+        with pytest.raises(ValueError):
+            auto_partition(["a"], 0)
+
+    def test_colocation_weight_merges_pair(self):
+        weights = {("a", "d"): COLOCATION_WEIGHT}
+        plan = auto_partition(list("abcd"), 2, weights)
+        owner = {nid: i for i, group in enumerate(plan) for nid in group}
+        assert owner["a"] == owner["d"]
+        assert sorted(len(g) for g in plan) == [2, 2]
+
+    def test_traffic_weight_tiebreak(self):
+        # b<->c traffic pulls them together; a and d fill the gaps.
+        weights = {("b", "c"): 5}
+        plan = auto_partition(list("abcd"), 2, weights)
+        owner = {nid: i for i, group in enumerate(plan) for nid in group}
+        assert owner["b"] == owner["c"]
+
+    def test_infeasible_colocation_raises(self):
+        # Three co-located nodes cannot fit a cap-2 shard.
+        weights = {("a", "b"): COLOCATION_WEIGHT,
+                   ("b", "c"): COLOCATION_WEIGHT,
+                   ("a", "c"): COLOCATION_WEIGHT}
+        with pytest.raises(ValueError, match="co-located"):
+            auto_partition(list("abcd"), 2, weights)
+
+    def test_deterministic(self):
+        weights = {("a", "c"): 3, ("b", "d"): 3, ("a", "b"): 1}
+        plans = {json.dumps(auto_partition(list("abcdef"), 3, weights))
+                 for _ in range(5)}
+        assert len(plans) == 1
+
+    def test_covers_every_node_exactly_once(self):
+        nodes = [f"n{i}" for i in range(11)]
+        weights = {("n1", "n7"): COLOCATION_WEIGHT, ("n2", "n3"): 4}
+        plan = auto_partition(nodes, 4, weights)
+        flat = sorted(nid for group in plan for nid in group)
+        assert flat == sorted(nodes)
+
+    def test_colocation_weights_from_tasks(self):
+        system = HadesSystem(node_ids=["n0", "n1", "n2"])
+        task = Task("spanning", deadline=1_000)
+        a = task.code_eu("a", wcet=10, node_id="n0")
+        b = task.code_eu("b", wcet=10, node_id="n1")
+        task.precede(a, b)
+        system.dispatcher.known_tasks[task.name] = task
+        weights = colocation_weights(system.dispatcher)
+        # One co-location bump plus one remote-edge traffic unit.
+        assert weights == {("n0", "n1"): COLOCATION_WEIGHT + 1}
+
+    def test_spanning_task_colocated_by_auto_partition(self, tmp_path):
+        def build(system):
+            system.attach_scheduler(EDFScheduler(scope="n0"))
+            system.attach_scheduler(EDFScheduler(scope="n1"))
+            task = Task("span", deadline=50_000)
+            a = task.code_eu("a", wcet=100, node_id="n0")
+            b = task.code_eu("b", wcet=100, node_id="n1")
+            task.precede(a, b)
+            system.dispatcher.register_arrivals(task, [1_000])
+
+        system = HadesSystem.scripted(build, node_ids=NODES)
+        result = system.run(until=20_000, shards=2)
+        owner = {nid: i for i, group in enumerate(result.partition)
+                 for nid in group}
+        assert owner["n0"] == owner["n1"]
+
+
+# --------------------------------------------------------------------------
+# _validate_partition
+# --------------------------------------------------------------------------
+
+class TestValidatePartition:
+    def test_valid(self):
+        assert _validate_partition([["a"], ["b", "c"]], list("abc")) == [
+            ["a"], ["b", "c"]]
+
+    def test_empty_group(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            _validate_partition([["a"], []], ["a"])
+
+    def test_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            _validate_partition([["a"], ["a", "b"]], list("ab"))
+
+    def test_incomplete_cover(self):
+        with pytest.raises(ValueError, match="missing \\['c'\\]"):
+            _validate_partition([["a"], ["b"]], list("abc"))
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError, match="unknown \\['z'\\]"):
+            _validate_partition([["a", "z"], ["b"]], list("ab"))
+
+
+# --------------------------------------------------------------------------
+# Ownership gating on shard replicas
+# --------------------------------------------------------------------------
+
+class TestShardReplica:
+    def test_foreign_activation_is_noop(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        foreign = Task("f", deadline=1_000, node_id="n1")
+        foreign.code_eu("a", wcet=10)
+        assert system.activate(foreign) is None
+        owned = Task("o", deadline=1_000, node_id="n0")
+        owned.code_eu("a", wcet=10)
+        assert system.activate(owned) is not None
+
+    def test_spanning_task_raises(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        task = Task("span", deadline=1_000)
+        a = task.code_eu("a", wcet=10, node_id="n0")
+        b = task.code_eu("b", wcet=10, node_id="n1")
+        task.precede(a, b)
+        with pytest.raises(ValueError, match="spans shard boundaries"):
+            system.activate(task)
+
+    def test_foreign_periodic_driver_is_stopped(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        task = Task("p", deadline=500, arrival=Periodic(period=1_000),
+                    node_id="n1")
+        task.code_eu("a", wcet=10)
+        driver = system.register_periodic(task)
+        assert driver.stopped
+        system.run(until=5_000)
+        assert system.dispatcher.instances_of("p") == []
+
+    def test_foreign_interface_send_is_noop(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        assert system.network.interfaces["n1"].send("n0", "x") is None
+        assert system.network.interfaces["n0"].send("n1", "x") is not None
+
+    def test_foreign_scheduler_attach_is_noop(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        before = len(system.tracer)
+        system.attach_scheduler(EDFScheduler(scope="n1"))
+        assert len(system.tracer) == before
+        assert system.dispatcher._schedulers == []
+
+    def test_global_scheduler_raises_on_replica(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        with pytest.raises(ValueError, match="global"):
+            system.attach_scheduler(EDFScheduler(scope=None))
+
+    def test_unknown_owned_nodes_raise(self):
+        with pytest.raises(ValueError, match="not in node_ids"):
+            HadesSystem(node_ids=["n0"], owned_nodes=["nope"])
+
+    def test_cross_shard_send_queues_outbox(self):
+        system = HadesSystem(node_ids=["n0", "n1"], owned_nodes=["n0"])
+        system.network.interfaces["n0"].send("n1", {"x": 1})
+        system.sim.run(until=10)
+        outbox = system.network.drain_shard_outbox()
+        assert len(outbox) == 1
+        message, deliver_at, outcome = outbox[0]
+        assert message.dst == "n1" and deliver_at >= 50
+        assert outcome == "delivered"
+        assert system.network.drain_shard_outbox() == []
+
+
+# --------------------------------------------------------------------------
+# Message-id lanes
+# --------------------------------------------------------------------------
+
+class TestMessageIdLanes:
+    def test_per_src_lane_independent_of_interleaving(self):
+        def ids(order):
+            system = HadesSystem(node_ids=["a", "b"])
+            out = []
+            for src in order:
+                dst = "b" if src == "a" else "a"
+                out.append(
+                    system.network.interfaces[src].send(dst, "x").msg_id)
+            return dict(zip(order, out))
+
+        first = ids(["a", "b"])
+        second = ids(["b", "a"])
+        assert first["a"] == second["a"]
+        assert first["b"] == second["b"]
+
+    def test_global_lane_below_node_lanes(self):
+        system = HadesSystem(node_ids=["a", "b"])
+        anon = system.network.next_msg_id()
+        named = system.network.next_msg_id("a")
+        assert anon < named
+
+
+# --------------------------------------------------------------------------
+# merge_shard_traces
+# --------------------------------------------------------------------------
+
+class TestMergeShardTraces:
+    def test_orders_by_time_then_rank(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"time": 5, "category": "x", "event": "a0"}\n'
+                     '{"time": 9, "category": "x", "event": "a1"}\n')
+        b.write_text('{"time": 5, "category": "x", "event": "b0"}\n'
+                     '{"time": 7, "category": "x", "event": "b1"}\n')
+        out = tmp_path / "merged.jsonl"
+        assert merge_shard_traces([str(a), str(b)], str(out)) == 4
+        events = [json.loads(line)["event"]
+                  for line in out.read_text().splitlines()]
+        assert events == ["a0", "b0", "b1", "a1"]
+
+    def test_preserves_bytes_verbatim(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        line = '{"time": 3, "category": "y", "event": "e", "details": {}}\n'
+        a.write_text(line)
+        out = tmp_path / "m.jsonl"
+        merge_shard_traces([str(a)], str(out))
+        assert out.read_text() == line
+
+    def test_falls_back_to_json_parse(self, tmp_path):
+        # A line not starting with the canonical prefix still merges.
+        a = tmp_path / "a.jsonl"
+        a.write_text('{"category": "x", "time": 2, "event": "odd"}\n')
+        b = tmp_path / "b.jsonl"
+        b.write_text('{"time": 1, "category": "x", "event": "first"}\n')
+        out = tmp_path / "m.jsonl"
+        merge_shard_traces([str(a), str(b)], str(out))
+        events = [json.loads(line)["event"]
+                  for line in out.read_text().splitlines()]
+        assert events == ["first", "odd"]
+
+
+# --------------------------------------------------------------------------
+# run_sharded end to end
+# --------------------------------------------------------------------------
+
+class TestRunSharded:
+    def test_requires_scripted_builder(self):
+        system = HadesSystem(node_ids=NODES)
+        with pytest.raises(SimulationError, match="scripted"):
+            system.run(until=1_000, shards=2)
+
+    def test_requires_fresh_system(self):
+        system = scripted()
+        system.run(until=1_000)
+        with pytest.raises(SimulationError, match="fresh"):
+            system.run(until=2_000, shards=2)
+
+    def test_rejects_shard_replica(self):
+        system = HadesSystem(node_ids=NODES, owned_nodes=["n0"])
+        system._builder = lambda s: None
+        with pytest.raises(SimulationError, match="replica"):
+            run_sharded(system, until=100, shards=2)
+
+    def test_shards_partition_mismatch(self):
+        system = scripted()
+        with pytest.raises(ValueError, match="contradicts"):
+            system.run(until=1_000, shards=3,
+                       partition=[NODES[:2], NODES[2:]])
+
+    def test_missing_shard_count(self):
+        system = scripted()
+        with pytest.raises(ValueError, match="shards=N"):
+            run_sharded(system, until=1_000)
+
+    def test_zero_lookahead_raises(self):
+        def build(system):
+            system.sim.call_at(10, lambda: None)
+
+        system = HadesSystem.scripted(build, node_ids=["a", "b"],
+                                      network_latency=0)
+        with pytest.raises(SimulationError, match="lookahead"):
+            system.run(until=1_000, shards=2)
+
+    def test_single_shard_degenerate(self):
+        system = scripted()
+        result = system.run(until=30_000, shards=1)
+        assert isinstance(result, ShardRunResult)
+        assert result.partition == [NODES]
+        assert result.lookahead is None and result.windows == 0
+        assert result.trace_path is None
+        assert system.sim.now == 30_000
+        assert len(system.tracer) > 0
+
+    def test_worker_error_propagates(self):
+        def build(system):
+            def boom():
+                raise RuntimeError("shard exploded")
+            system.sim.call_at(100, boom)
+
+        system = HadesSystem.scripted(build, node_ids=["a", "b"])
+        with pytest.raises(SimulationError, match="shard exploded"):
+            system.run(until=1_000, shards=2)
+
+    def test_trace_and_clock_match_serial(self, tmp_path, backend):
+        serial = scripted(backend=backend)
+        serial.run(until=40_000)
+        sharded = scripted(backend=backend)
+        result = sharded.run(until=40_000, shards=2)
+        assert (trace_bytes(serial, tmp_path, "serial.jsonl")
+                == trace_bytes(sharded, tmp_path, "sharded.jsonl"))
+        assert sharded.sim.now == serial.sim.now == 40_000
+        assert result.lookahead == 50
+        assert result.windows > 0 and result.messages > 0
+
+    def test_explicit_partition(self, tmp_path):
+        # Byte-identity needs the partition contiguous in builder
+        # order: the time-0 construction records of different shards
+        # merge in rank order (see the module docstring's same-instant
+        # limitation).
+        serial = scripted()
+        serial.run(until=30_000)
+        sharded = scripted()
+        result = sharded.run(until=30_000,
+                             partition=[["n0"], ["n1", "n2", "n3"]])
+        assert result.partition == [["n0"], ["n1", "n2", "n3"]]
+        assert (trace_bytes(serial, tmp_path, "s.jsonl")
+                == trace_bytes(sharded, tmp_path, "h.jsonl"))
+
+    def test_counter_totals_match_serial_domain_counters(self):
+        serial = scripted(metrics=True)
+        serial.run(until=40_000)
+        serial_counters = {
+            name: value
+            for name, value in serial.run_report().counters.items()
+            if not name.startswith("engine.")}
+        sharded = scripted(metrics=True)
+        result = sharded.run(until=40_000, shards=2)
+        totals = {name: value
+                  for name, value in result.counter_totals().items()
+                  if not name.startswith("engine.")}
+        assert totals == serial_counters
+
+    def test_merged_trace_loaded_into_tracer(self):
+        system = scripted()
+        result = system.run(until=30_000, shards=2)
+        assert result.trace_path is not None
+        with open(result.trace_path) as handle:
+            merged = sum(1 for _ in handle)
+        assert merged == len(system.tracer) > 0
+
+    def test_run_until_none_quiesces(self):
+        serial = scripted()
+        serial.run()
+        sharded = scripted()
+        result = sharded.run(shards=2)
+        # The sharded clock parks at the last barrier bound, within
+        # lookahead-1 past the serial last-event instant.
+        assert serial.sim.now <= result.sim_time \
+            < serial.sim.now + result.lookahead
+        assert len(sharded.tracer) == len(serial.tracer)

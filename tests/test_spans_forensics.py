@@ -1,5 +1,7 @@
 """Causal span reconstruction and deadline-miss forensics."""
 
+import random
+
 import pytest
 
 from repro import EUAttributes, HadesSystem, Task
@@ -186,7 +188,7 @@ class TestDecomposition:
         task.precede(a, b)
         # The remote edge is dropped: b never runs, the instance stalls.
         system.network.link("n0", "n1").add_fault(
-            OmissionFault(drop_ids=set(range(1, 100))))
+            OmissionFault(probability=1.0, rng=random.Random(0)))
         system.activate(task.validate())
         system.run(until=5_000)
         forest = reconstruct(system.tracer)
@@ -256,7 +258,7 @@ class TestForensics:
                          attrs=EUAttributes(prio=5))
         task.precede(a, b)
         system.network.link("n0", "n1").add_fault(
-            OmissionFault(drop_ids=set(range(1, 100))))
+            OmissionFault(probability=1.0, rng=random.Random(0)))
         system.activate(task.validate())
         system.run(until=5_000)
         text = forensics_report(system.tracer)
