@@ -1,0 +1,342 @@
+"""Experiment E22 — production service scenarios under 1x-10x load.
+
+A four-cell edge -> service -> storage deployment (tree fan-out DAG
+requests, lognormal service tier, four tenant classes with (m, k)-firm
+SLOs) is driven through the fluent ``repro.Scenario`` builder under
+four configurations — plain EDF, Spring planning, EDF + admission
+``reject`` and EDF + admission ``mk_firm`` — at 1x, 3x and 10x the
+declared tenant rates.  For every (config, load) cell the scoreboard's
+per-tenant p99/p999 latency, miss counts and accrued value are
+recorded, quantifying the admission-control claim: under overload the
+uncontrolled policies miss deadlines on admitted work, while the
+admission-controlled ones shed load *before* guaranteeing it and keep
+the admitted-work miss ratio at zero (enforced here as a hard
+invariant at every load, not just the <= 3x the issue requires).
+
+A separate determinism probe builds a stagger-quantized scenario
+(every duration on the mod-50 grid — see ``Scenario.stagger``) and
+asserts the ``shards=4`` merged trace is **byte-identical** to the
+serial run on the active event-set backend.
+
+Gate design (``--check``): the committed ``BENCH_engine.json`` gains an
+``e22_service_scenarios`` section.  Scenario runs are fully seeded and
+deterministic, so the scoreboard figures (value, admitted, missed) are
+compared **exactly**; wall-clock throughput (requests simulated per
+second) is compared baseline-relative after normalizing by the same
+in-process calibration workload the E17/E21 gates use, so runner speed
+never masquerades as a regression.
+
+CLI::
+
+    python benchmarks/bench_service_scenarios.py --write   # re-baseline
+    python benchmarks/bench_service_scenarios.py --check   # regression gate
+    python benchmarks/bench_service_scenarios.py --smoke   # CI-sized run
+"""
+
+import gc
+import json
+import pathlib
+import sys
+import time
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_engine.json")
+
+#: Key of this experiment's section inside BENCH_engine.json (the rest
+#: of the file belongs to the E17/E20/E21 gates).
+SECTION = "e22_service_scenarios"
+
+SEED = 7
+HORIZON = 400_000
+LOADS = (1.0, 3.0, 10.0)
+CONFIGS = ("edf", "spring", "adm_reject", "adm_mk_firm")
+#: Loads at which admission-controlled configs must show zero misses on
+#: admitted work (the issue requires <= 3x; empirically the pooled
+#: response-time test holds the line at 10x too).
+ADMITTED_MISS_FREE_LOADS = (1.0, 3.0, 10.0)
+REPEATS = 2
+
+#: Fractional drop of calibration-normalized simulation throughput that
+#: fails the gate (scoreboard figures are compared exactly instead).
+REGRESSION_TOLERANCE = 0.35
+
+TENANTS = (
+    # (name, rate req/s, mk, value, deadline us)
+    ("gold", 60, (9, 10), 5, 40_000),
+    ("silver", 100, (4, 5), 3, 50_000),
+    ("bronze", 200, (1, 4), 1, 60_000),
+    ("free", 150, None, 1, 80_000),
+)
+
+
+def build_scenario(config, load, horizon=HORIZON):
+    """One (config, load) scenario on the shared deployment."""
+    from repro import LogNormalService, Scenario
+
+    builder = (Scenario()
+               .tier("edge", replicas=2, wcet=300)
+               .tier("svc", fan_out=3, wcet=800,
+                     service=LogNormalService(median=250, sigma=0.7))
+               .tier("store", fan_out=2, wcet=600)
+               .cells(4)
+               .load(load)
+               .seed(SEED))
+    for name, rate, mk, value, deadline in TENANTS:
+        builder.tenant(name, rate=rate, mk=mk, value=value,
+                       deadline=deadline)
+    if config == "spring":
+        builder.policy("spring", w_sched=0)
+    else:
+        builder.policy("edf", w_sched=0)
+    if config == "adm_reject":
+        builder.admission("reject")
+    elif config == "adm_mk_firm":
+        builder.admission("mk_firm")
+    return builder
+
+
+def run_cell(config, load, horizon=HORIZON):
+    """Run one (config, load) cell; returns (summary dict, wall secs)."""
+    start = time.perf_counter()
+    result = build_scenario(config, load, horizon).run(until=horizon)
+    elapsed = time.perf_counter() - start
+    board = result.scoreboard.to_dict()
+    admitted = sum(row["admitted"] for row in board.values())
+    missed = sum(row["missed"] for row in board.values())
+    summary = {
+        "completed": result.completed,
+        "admitted": admitted,
+        "missed": missed,
+        "scheduler_rejections": result.scheduler_rejections,
+        "value": result.accrued_value(),
+        "tenants": {
+            name: {key: row[key]
+                   for key in ("submitted", "admitted", "missed",
+                               "p99", "p999", "value", "mk_violations")}
+            for name, row in board.items()
+        },
+    }
+    return summary, elapsed
+
+
+def determinism_check(shards=4, horizon=200_000):
+    """Serial vs ``shards=N`` byte-identity on a staggered scenario."""
+    import tempfile
+
+    from repro import Scenario
+
+    def build():
+        return (Scenario()
+                .tier("edge", replicas=1, wcet=300)
+                .tier("svc", replicas=2, fan_out=2, wcet=400)
+                .tier("store", replicas=1, fan_out=1, wcet=200)
+                .cells(4)
+                .tenant("gold", rate=40, mk=(9, 10), value=5,
+                        deadline=40_000)
+                .tenant("silver", rate=60, mk=(4, 5), deadline=50_000)
+                .tenant("bronze", rate=90, mk=(1, 4), deadline=60_000)
+                .tenant("free", rate=120, deadline=80_000)
+                .admission("mk_firm")
+                .policy("edf", w_sched=0)
+                .stagger(50)
+                .options(network_latency=50, network_jitter=0,
+                         node_kwargs={"net_irq_wcet": 0})
+                .load(2.0))
+
+    serial = build().run(until=horizon, seed=SEED)
+    sharded = build().run(until=horizon, seed=SEED, shards=shards)
+    with tempfile.TemporaryDirectory() as tmp:
+        a = pathlib.Path(tmp) / "serial.jsonl"
+        b = pathlib.Path(tmp) / "sharded.jsonl"
+        serial.system.tracer.to_jsonl(str(a))
+        sharded.system.tracer.to_jsonl(str(b))
+        serial_bytes, sharded_bytes = a.read_bytes(), b.read_bytes()
+    assert serial_bytes, "empty serial trace"
+    assert serial_bytes == sharded_bytes, \
+        f"shards={shards} trace diverged from serial"
+    assert serial.scoreboard.to_dict() == sharded.scoreboard.to_dict()
+    return len(serial.system.tracer)
+
+
+def run_calibration(n=2_000_000):
+    """Same host-speed yardstick as the E17/E21 gates (ops/sec)."""
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i & 7
+    assert total > 0
+    return n / (time.perf_counter() - start)
+
+
+def _timed(fn, **kwargs):
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return fn(**kwargs)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+
+
+def _assert_admission_invariant(config, load, summary):
+    if config in ("adm_reject", "adm_mk_firm") \
+            and load in ADMITTED_MISS_FREE_LOADS:
+        assert summary["missed"] == 0, \
+            (f"{config} at {load}x missed {summary['missed']} admitted "
+             f"requests — the guarantee test let overload through")
+
+
+def measure(loads=LOADS, configs=CONFIGS, horizon=HORIZON,
+            repeats=REPEATS):
+    """The full config x load matrix (best-of-N wall throughput)."""
+    calibration = max(_timed(run_calibration) for _ in range(repeats))
+    cells = {}
+    for config in configs:
+        for load in loads:
+            best_elapsed = None
+            summary = None
+            for _ in range(repeats):
+                fresh, elapsed = _timed(run_cell, config=config,
+                                        load=load, horizon=horizon)
+                if summary is not None and fresh != summary:
+                    raise AssertionError(
+                        f"{config}@{load}x not deterministic across "
+                        "repeats")
+                summary = fresh
+                best_elapsed = (elapsed if best_elapsed is None
+                                else min(best_elapsed, elapsed))
+            _assert_admission_invariant(config, load, summary)
+            rate = summary["completed"] / best_elapsed
+            summary["requests_per_sec"] = round(rate, 1)
+            summary["normalized"] = rate / calibration
+            cells[f"{config}@{load:g}x"] = summary
+    return {
+        "experiment": "E22",
+        "description": "service scenarios: EDF vs Spring vs admission "
+                       "under 1x-10x load "
+                       "(see benchmarks/bench_service_scenarios.py)",
+        "seed": SEED,
+        "horizon": horizon,
+        "calibration_ops_per_sec": round(calibration, 1),
+        "tolerance": REGRESSION_TOLERANCE,
+        "cells": cells,
+    }
+
+
+def check(results, baseline):
+    """Exact scoreboard match + baseline-relative throughput gate."""
+    tolerance = baseline.get("tolerance", REGRESSION_TOLERANCE)
+    floor = 1.0 - tolerance
+    failures = []
+    for label, entry in baseline["cells"].items():
+        fresh = results["cells"].get(label)
+        if fresh is None:
+            failures.append((label, "missing"))
+            continue
+        for key in ("completed", "admitted", "missed", "value"):
+            if fresh[key] != entry[key]:
+                # Fully seeded workload: a changed figure means the
+                # scenario semantics (not the host) changed without a
+                # re-baseline.
+                failures.append((f"{label}[{key}]",
+                                 f"{fresh[key]} != {entry[key]}"))
+        ratio = fresh["normalized"] / entry["normalized"]
+        if ratio < floor:
+            failures.append((f"{label}[throughput]", f"{ratio:.2f}x"))
+    return failures
+
+
+def _print_results(results, baseline=None):
+    from benchmarks.conftest import print_table
+
+    rows = []
+    for label, entry in results["cells"].items():
+        gold = entry["tenants"].get("gold", {})
+        row = [label, entry["completed"], entry["missed"],
+               entry["scheduler_rejections"], entry["value"],
+               gold.get("p99"), gold.get("p999"),
+               f"{entry['requests_per_sec']:,.0f}"]
+        if baseline is not None:
+            base = baseline["cells"].get(label)
+            row.append("" if base is None else
+                       f"{entry['normalized'] / base['normalized']:.2f}x")
+        rows.append(row)
+    headers = ["config@load", "completed", "missed", "sched rej",
+               "value", "gold p99", "gold p999", "req/s"]
+    if baseline is not None:
+        headers.append("vs baseline")
+    print_table(
+        f"E22 — service scenarios, seed {results['seed']}, horizon "
+        f"{results['horizon']:,} us "
+        f"(calibration {results['calibration_ops_per_sec']:,.0f} ops/s)",
+        headers, rows)
+
+
+def _load_bench_file():
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {}
+
+
+def smoke():
+    """CI-sized sanity run: shortened horizon, 1x/3x, plus the
+    serial-vs-shards=4 byte-determinism probe.  No baseline comparison
+    — containers are too noisy."""
+    results = measure(loads=(1.0, 3.0), horizon=150_000, repeats=1)
+    _print_results(results)
+    records = determinism_check()
+    print(f"smoke passed: determinism probe byte-identical "
+          f"({records} records, serial == shards=4)")
+    return 0
+
+
+#: pytest entry point so ``pytest benchmarks/ --benchmark-only`` and
+#: ``python -m repro.experiments E22`` regenerate the comparison table.
+def test_service_scenarios(benchmark):
+    results = benchmark.pedantic(
+        lambda: measure(loads=(1.0, 3.0), horizon=150_000, repeats=1),
+        rounds=1, iterations=1)
+    _print_results(results)
+    determinism_check(horizon=100_000)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--smoke" in argv:
+        return smoke()
+    if "--write" in argv:
+        results = measure()
+        determinism_check()
+        data = _load_bench_file()
+        data[SECTION] = results
+        BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        _print_results(results)
+        print(f"baseline section {SECTION!r} written to {BASELINE_PATH}")
+        return 0
+    if "--check" in argv:
+        data = _load_bench_file()
+        if SECTION not in data:
+            print(f"error: no {SECTION!r} section in {BASELINE_PATH}; "
+                  f"run --write first", file=sys.stderr)
+            return 2
+        baseline = data[SECTION]
+        results = measure()
+        _print_results(results, baseline)
+        determinism_check()
+        failures = check(results, baseline)
+        if failures:
+            for label, detail in failures:
+                print(f"REGRESSION {label}: {detail}", file=sys.stderr)
+            return 1
+        print("gate passed: scoreboards exactly reproduce the committed "
+              "baseline; throughput within tolerance "
+              "(calibration-normalized); determinism probe byte-identical")
+        return 0
+    print(__doc__)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    raise SystemExit(main())

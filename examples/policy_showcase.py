@@ -6,22 +6,16 @@ generic dispatcher makes HADES flexible: "the provision of various
 static and dynamic scheduling policies enables to support a large
 range of safety-critical applications".  This example runs the *same*
 workload under RM, DM, EDF and Spring planning-based scheduling —
-swapping nothing but the scheduler component — and prints the outcome
-of each policy, including the Liu & Layland counterexample where RM
-fails and EDF succeeds.
+swapping nothing but the ``.policy(...)`` declaration on the fluent
+:class:`repro.Scenario` builder — and prints the outcome of each
+policy, including the Liu & Layland counterexample where RM fails and
+EDF succeeds.
 
 Run:  python examples/policy_showcase.py
 """
 
-from repro import HadesSystem
-from repro.core import DispatcherCosts, Periodic, Task
+from repro import Periodic, Scenario, Task
 from repro.core.monitoring import ViolationKind
-from repro.scheduling import (
-    DMScheduler,
-    EDFScheduler,
-    RMScheduler,
-    SpringScheduler,
-)
 
 
 def make_workload():
@@ -32,31 +26,19 @@ def make_workload():
     t2 = Task("slow", deadline=700, arrival=Periodic(period=700),
               node_id="cpu")
     t2.code_eu("eu", wcet=400)
-    return [t1, t2]
+    return [t1.validate(), t2.validate()]
 
 
 def run_policy(name):
-    system = HadesSystem(node_ids=["cpu"], costs=DispatcherCosts.zero())
-    tasks = make_workload()
-    spring = None
-    if name == "rm":
-        system.attach_scheduler(RMScheduler(tasks, scope="cpu", w_sched=0))
-    elif name == "dm":
-        system.attach_scheduler(DMScheduler(tasks, scope="cpu", w_sched=0))
-    elif name == "edf":
-        system.attach_scheduler(EDFScheduler(scope="cpu", w_sched=0))
-    elif name == "spring":
-        spring = SpringScheduler(scope="cpu", w_sched=0)
-        system.attach_scheduler(spring)
-    for task in tasks:
-        count = 3_500 // task.arrival.period
-        system.register_periodic(task, count=count)
-    system.run()
+    builder = Scenario().node("cpu").policy(name, w_sched=0)
+    for task in make_workload():
+        builder.task(task, periodic=3_500 // task.arrival.period)
+    result = builder.run()
     return {
         "policy": name,
-        "completed": system.dispatcher.completed_instances,
-        "misses": system.monitor.count(ViolationKind.DEADLINE_MISS),
-        "rejected": spring.rejected_count if spring else 0,
+        "completed": result.completed,
+        "misses": result.system.monitor.count(ViolationKind.DEADLINE_MISS),
+        "rejected": result.scheduler_rejections,
     }
 
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Quickstart: a minimal HADES deployment.
+"""Quickstart: a minimal HADES deployment through the fluent facade.
 
-Builds a one-node system, attaches an EDF scheduler, declares two
-periodic tasks as HEUGs with the builder idiom (``code_eu`` returns the
-unit, ``chain``/``validate`` return the task), runs 100 ms of simulated
-time and prints response-time statistics and the monitoring summary.
+Declares two periodic tasks as HEUGs with the builder idiom
+(``code_eu`` returns the unit, ``chain``/``validate`` return the task),
+then stands the deployment up through the blessed :class:`repro.
+Scenario` builder — node, scheduler policy and dispatcher costs are one
+chained expression instead of four hand-wired layers.  Runs 100 ms of
+simulated time and prints response-time statistics and the monitoring
+summary.
 
 Everything the example needs comes from the stable ``repro`` facade
 (``repro.__all__``); only the response-time helper lives deeper.
@@ -12,15 +15,11 @@ Everything the example needs comes from the stable ``repro`` facade
 Run:  python examples/quickstart.py
 """
 
-from repro import DispatcherCosts, EDFScheduler, HadesSystem, Periodic, Task
+from repro import DispatcherCosts, Periodic, Scenario, Task
 from repro.analysis import response_time_stats
 
 
 def main() -> None:
-    # One node, realistic (non-zero) dispatcher costs.
-    system = HadesSystem(node_ids=["n0"], costs=DispatcherCosts())
-    system.attach_scheduler(EDFScheduler(scope="n0", w_sched=2))
-
     # Task 1: a 2 ms control computation every 10 ms.  code_eu() returns
     # the created unit; chain() and validate() return the task, so the
     # whole HEUG reads as one builder expression.
@@ -37,9 +36,16 @@ def main() -> None:
                         arrival=Periodic(period=50_000), node_id="n0")
     logging_task.code_eu("flush", wcet=5_000)
 
-    system.register_periodic(control, count=10)
-    system.register_periodic(logging_task.validate(), count=2)
-    system.run(until=100_000)
+    # One node, EDF, realistic (non-zero) dispatcher costs — the whole
+    # deployment is one fluent declaration.
+    result = (Scenario()
+              .node("n0")
+              .policy("edf", w_sched=2)
+              .costs(DispatcherCosts())
+              .task(control, periodic=10)
+              .task(logging_task.validate(), periodic=2)
+              .run(until=100_000))
+    system = result.system
 
     print("HADES quickstart")
     print("================")

@@ -28,6 +28,22 @@ minor versions.  A typical deployment needs nothing beyond::
     system.activate(task.validate())
     system.run()
 
+For service-shaped workloads — tiered request DAGs under diurnal,
+heavy-tailed multi-tenant traffic with (m, k)-firm SLOs — the blessed
+construction path is the fluent :class:`~repro.scenarios.Scenario`
+builder (see :mod:`repro.scenarios`)::
+
+    from repro import Scenario
+
+    result = (Scenario()
+              .tier("edge", replicas=2, wcet=300)
+              .tier("svc", fan_out=3, wcet=800)
+              .tenant("gold", rate=120, mk=(9, 10), deadline=40_000)
+              .admission("mk_firm")
+              .load(3.0)
+              .run(until=1_000_000, seed=7, shards=4))
+    print(result.tenant("gold")["p99"])
+
 The engine's pending-event set is swappable: ``HadesSystem(backend=
 "calendar")`` (or the ``REPRO_SIM_BACKEND`` environment variable)
 selects the calendar-queue core, proven trace-identical to the heapq
@@ -45,6 +61,8 @@ Deeper layers remain importable for research use:
   cost-integrated test,
 * :mod:`repro.services` — clock sync, reliable broadcast, replication,
   consensus, fault detection, storage, dependency tracking,
+* :mod:`repro.scenarios` — production traffic scenarios (tiered
+  request DAGs, heavy-tailed service times, SLO scoreboard),
 * :mod:`repro.workloads` — synthetic task-set generators,
 * :mod:`repro.faults` — fault-injection campaigns,
 * :mod:`repro.analysis` — cost calibration and trace analysis,
@@ -74,6 +92,17 @@ from repro.obs.forensics import forensics_report
 from repro.obs.metrics import MetricsRegistry, RunReport, resolve_metrics
 from repro.obs.spans import SpanForest, critical_path, decompose, reconstruct
 from repro.obs.timeline import build_timeline, write_timeline
+from repro.scenarios import (
+    DeterministicService,
+    LogNormalService,
+    ParetoService,
+    Scenario,
+    ScenarioResult,
+    Scoreboard,
+    ServiceTimeModel,
+    TenantSLO,
+    scenario,
+)
 from repro.scheduling import (
     DMScheduler,
     EDFScheduler,
@@ -86,14 +115,28 @@ from repro.sim.engine import Simulator
 from repro.sim.sharded import ShardRunResult, auto_partition, run_sharded
 from repro.sim.event_set import available_backends, resolve_backend
 from repro.sim.trace import Tracer, TraceRecord, load_trace
-from repro.system import HadesSystem
+from repro.system import HadesSystem, RunOptions
+from repro.workloads.arrivals import diurnal_profile, nhpp_arrivals
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # deployment facade
     "HadesSystem",
+    "RunOptions",
     "Simulator",
+    # production traffic scenarios (fluent builder)
+    "Scenario",
+    "ScenarioResult",
+    "scenario",
+    "Scoreboard",
+    "TenantSLO",
+    "ServiceTimeModel",
+    "DeterministicService",
+    "LogNormalService",
+    "ParetoService",
+    "diurnal_profile",
+    "nhpp_arrivals",
     # engine backend selection
     "available_backends",
     "resolve_backend",

@@ -145,7 +145,11 @@ class AdmissionController:
     forward_timeout:
         Cap on the deadline-aware forward timeout (µs).
     mk:
-        ``(m, k)`` window for the ``mk_firm`` policy.
+        Default ``(m, k)`` window for the ``mk_firm`` policy.
+    mk_overrides:
+        Optional per-task-name ``(m, k)`` windows overriding the
+        default — e.g. one window per tenant class (gold ``(9, 10)``,
+        bronze ``(1, 4)``) when several share one controller.
     mode_manager / degraded_mode:
         Target of the ``degrade`` policy.
     remote_task_builder:
@@ -165,6 +169,7 @@ class AdmissionController:
                  peers: Sequence[str] = (),
                  forward_timeout: Optional[int] = None,
                  mk: Optional[Tuple[int, int]] = None,
+                 mk_overrides: Optional[Dict[str, Tuple[int, int]]] = None,
                  mode_manager=None,
                  degraded_mode: Optional[str] = None,
                  remote_task_builder: Callable[..., Task]
@@ -179,9 +184,9 @@ class AdmissionController:
         if policy == "mk_firm":
             if mk is None:
                 raise ValueError("mk_firm policy requires mk=(m, k)")
-            m, k = mk
-            if not 0 < m <= k:
-                raise ValueError("mk must satisfy 0 < m <= k")
+            for m, k in [mk, *(mk_overrides or {}).values()]:
+                if not 0 < m <= k:
+                    raise ValueError("mk must satisfy 0 < m <= k")
         if policy == "degrade" and (mode_manager is None
                                     or degraded_mode is None):
             raise ValueError("degrade policy requires mode_manager "
@@ -200,6 +205,7 @@ class AdmissionController:
         self.peers = list(peers)
         self.forward_timeout = forward_timeout
         self.mk = mk
+        self.mk_overrides = dict(mk_overrides or {})
         self.mode_manager = mode_manager
         self.degraded_mode = degraded_mode
         self.remote_task_builder = remote_task_builder
@@ -399,8 +405,12 @@ class AdmissionController:
                 return True
         return False
 
+    def _mk_for(self, name: str) -> Tuple[int, int]:
+        """The ``(m, k)`` window governing one task name."""
+        return self.mk_overrides.get(name, self.mk)
+
     def _mk_skip_allowed(self, name: str) -> bool:
-        m, k = self.mk
+        m, k = self._mk_for(name)
         window = self._mk_window.get(name, ())
         recent = list(window)[-(k - 1):] if k > 1 else []
         return sum(recent) >= m
@@ -408,7 +418,7 @@ class AdmissionController:
     def _note_mk(self, name: str, admitted: bool) -> None:
         if self.policy != "mk_firm":
             return
-        _, k = self.mk
+        _, k = self._mk_for(name)
         self._mk_window.setdefault(name, deque(maxlen=k)).append(admitted)
 
     # -- distributed admission --------------------------------------------

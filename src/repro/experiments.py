@@ -55,6 +55,7 @@ EXPERIMENTS = {
     "E19": "bench_admission.py",
     "E20": "bench_engine_hotpath.py",
     "E21": "bench_sharded_scaling.py",
+    "E22": "bench_service_scenarios.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

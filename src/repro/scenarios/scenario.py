@@ -1,0 +1,672 @@
+"""The fluent ``Scenario`` facade — one declarative construction path.
+
+Before this module, standing up a workload meant touching four layers
+by hand: ``HadesSystem.scripted`` for the deployment, raw arrival-law
+generators for traffic, per-node scheduler construction, and ad-hoc
+``AdmissionController`` wiring.  ``Scenario`` folds them into one
+chainable builder::
+
+    result = (Scenario()
+              .tier("edge", replicas=2, wcet=300)
+              .tier("svc", fan_out=3, wcet=800,
+                    service=LogNormalService(median=250, sigma=0.7))
+              .tier("store", fan_out=2, wcet=600)
+              .cells(4)
+              .tenant("gold", rate=120, mk=(9, 10), value=5,
+                      deadline=40_000)
+              .tenant("bronze", rate=400, mk=(1, 4), deadline=60_000)
+              .admission("mk_firm")
+              .load(multiplier=3.0)
+              .run(until=1_000_000, seed=7))
+
+    print(result.scoreboard.to_dict()["gold"]["p99"])
+
+The same facade also expresses classic paper-shaped workloads (see
+``examples/quickstart.py``) through :meth:`Scenario.task` /
+:meth:`Scenario.periodic`, so one API covers both regimes.
+
+Everything composes with the existing execution machinery unchanged:
+the scenario builds a replayable :meth:`~repro.system.HadesSystem.
+scripted` system, so ``run(shards=N)`` forks cell-partitioned workers
+(tenants are pinned to cells; a cell never spans shards) and
+``backend=`` / ``REPRO_SIM_BACKEND`` select the event-set backend.
+
+**Service request model.**  A request is one activation of a
+per-tenant HEUG: one ingress EU on the tenant's edge node, then for
+each subsequent tier ``fan_out`` parallel EUs per upstream EU (a tree
+fan-out — tier *i* has ``prod(fan_out)`` units), and a final ``reply``
+EU back on the ingress node that fans in every leaf — the classic
+edge → service → storage diamond.  EUs are named ``{tier}:{j}`` so the
+scoreboard can date each tier's fan-in from ``eu_done`` records, and
+per-tier latency budgets become cumulative EU-deadline attributes
+(Kermia-style multiple latency constraints rather than one end-to-end
+deadline).
+
+**Admission.**  With :meth:`admission` declared, every request is
+*submitted* to a per-ingress-node :class:`~repro.admission.controller.
+AdmissionController` instead of being released directly.  The
+submission WCET is suspension-obliviously inflated — total WCET plus a
+network bound per remote precedence edge — so the single-CPU pooled
+guarantee test stays conservative for a DAG that spans the cell.
+Tenant ``(m, k)`` declarations become per-task ``mk_overrides`` on the
+shared controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, \
+    Union
+
+from repro.admission.controller import AdmissionController
+from repro.admission.guarantee import GuaranteeTest, ResponseTimeTest
+from repro.core.attributes import Aperiodic, EUAttributes
+from repro.core.costs import DispatcherCosts
+from repro.core.heug import Task
+from repro.core.monitoring import ViolationKind
+from repro.scenarios.scoreboard import Scoreboard, TenantSLO
+from repro.scenarios.traffic import ServiceTimeModel, derive_seed
+from repro.system import HadesSystem
+from repro.workloads.arrivals import nhpp_arrivals
+
+__all__ = ["Scenario", "ScenarioResult", "scenario"]
+
+#: Scheduler policies constructible per node without a task list.
+_DYNAMIC_POLICIES = ("edf", "spring", "fifo")
+#: Policies that need the (periodic) task set up front.
+_STATIC_POLICIES = ("rm", "dm")
+
+RateLike = Union[float, int, Callable[[float], float]]
+
+
+def scenario() -> "Scenario":
+    """Start a fresh fluent :class:`Scenario` (readability helper)."""
+    return Scenario()
+
+
+@dataclass(frozen=True)
+class _TierSpec:
+    name: str
+    replicas: int
+    fan_out: int
+    wcet: int
+    service: Optional[ServiceTimeModel]
+    budget: Optional[int]
+
+
+@dataclass(frozen=True)
+class _TenantSpec:
+    name: str
+    rate: Optional[RateLike]
+    mk: Optional[Tuple[int, int]]
+    value: int
+    deadline: Optional[int]
+
+    def slo(self) -> TenantSLO:
+        return TenantSLO(self.name, value=self.value, mk=self.mk)
+
+
+class ScenarioResult:
+    """Outcome of one :meth:`Scenario.run`."""
+
+    def __init__(self, scenario: "Scenario", system: HadesSystem,
+                 scoreboard: Scoreboard, shard_result=None):
+        #: The scenario that produced this run.
+        self.scenario = scenario
+        #: The underlying :class:`~repro.system.HadesSystem` (tracer,
+        #: metrics, dispatcher, monitor — everything is reachable).
+        self.system = system
+        #: Per-tenant / per-tier SLO accounting (trace-reconstructed,
+        #: so identical for serial and sharded runs).
+        self.scoreboard = scoreboard
+        #: The :class:`~repro.sim.sharded.ShardRunResult` for sharded
+        #: runs, else None.
+        self.shard_result = shard_result
+
+    @property
+    def schedulers(self) -> List[Any]:
+        """The scheduler instances the builder attached (serial state)."""
+        return list(getattr(self.system, "_scenario_schedulers", ()))
+
+    @property
+    def controllers(self) -> List[AdmissionController]:
+        """Admission controllers of this replica (serial state; under
+        sharding consult the :attr:`scoreboard` instead)."""
+        return list(getattr(self.system, "_scenario_controllers", ()))
+
+    @property
+    def completed(self) -> int:
+        """Completed task instances (dispatcher counter)."""
+        return self.system.dispatcher.completed_instances
+
+    @property
+    def misses(self) -> int:
+        """Deadline-miss violations recorded by the execution monitor."""
+        return self.system.monitor.count(ViolationKind.DEADLINE_MISS)
+
+    @property
+    def scheduler_rejections(self) -> int:
+        """Jobs turned away by planning-based schedulers (Spring)."""
+        return sum(getattr(s, "rejected_count", 0)
+                   for s in self.schedulers)
+
+    def tenant(self, name: str) -> Dict[str, Any]:
+        """One tenant's scoreboard row."""
+        return self.scoreboard.tenant_stats(name)
+
+    def accrued_value(self) -> int:
+        """Total value accrued across tenants (in-time completions)."""
+        return sum(row["value"]
+                   for row in self.scoreboard.to_dict().values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic summary: scoreboard plus run meta."""
+        return {
+            "sim_time": self.system.sim.now,
+            "completed": self.completed,
+            "tenants": self.scoreboard.to_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ScenarioResult completed={self.completed} "
+                f"tenants={len(self.scoreboard.tenants)}>")
+
+
+class Scenario:
+    """Fluent builder for a complete workload-on-deployment (see the
+    module docstring for the request model).  Every declaration method
+    returns ``self``; :meth:`run` builds and executes."""
+
+    def __init__(self) -> None:
+        self._tiers: List[_TierSpec] = []
+        self._tenants: List[_TenantSpec] = []
+        self._cells = 1
+        self._load = 1.0
+        self._policy: Tuple[str, Dict[str, Any]] = ("edf", {})
+        self._admission: Optional[Dict[str, Any]] = None
+        self._tasks: List[Tuple[Task, Optional[int]]] = []
+        self._extra_nodes: List[str] = []
+        self._costs: Optional[DispatcherCosts] = DispatcherCosts.zero()
+        self._options: Dict[str, Any] = {}
+        self._seed = 0
+        self._horizon: Optional[int] = None
+        self._stagger: Optional[int] = None
+
+    # -- declarations ------------------------------------------------------
+
+    def tier(self, name: str, replicas: int = 1, fan_out: int = 1,
+             wcet: int = 1_000,
+             service: Optional[ServiceTimeModel] = None,
+             budget: Optional[int] = None) -> "Scenario":
+        """Declare the next service tier (declaration order = depth).
+
+        ``replicas`` — nodes of this tier per cell (tenants and fan-out
+        units are spread across them round-robin); ``fan_out`` — units
+        each upstream unit spawns at the *next* tier; ``wcet`` — the
+        designer-guaranteed per-unit budget (µs); ``service`` — a
+        heavy-tailed :class:`~repro.scenarios.traffic.ServiceTimeModel`
+        for actual times (default: every unit burns its WCET);
+        ``budget`` — this tier's latency budget (µs), accumulated into
+        a per-unit deadline attribute when every tier declares one.
+        """
+        if any(t.name == name for t in self._tiers):
+            raise ValueError(f"duplicate tier {name!r}")
+        if not name or any(c in name for c in ":/#."):
+            raise ValueError(f"tier name {name!r} must be non-empty and "
+                             "contain none of ':', '/', '#', '.'")
+        if replicas < 1 or fan_out < 1:
+            raise ValueError("replicas and fan_out must be >= 1")
+        if wcet <= 0:
+            raise ValueError("wcet must be > 0")
+        if budget is not None and budget <= 0:
+            raise ValueError("budget must be > 0")
+        self._tiers.append(_TierSpec(name, replicas, fan_out, wcet,
+                                     service, budget))
+        return self
+
+    def tenant(self, name: str, rate: Optional[RateLike] = None,
+               mk: Optional[Tuple[int, int]] = None, value: int = 1,
+               deadline: Optional[int] = None) -> "Scenario":
+        """Declare a tenant traffic class.
+
+        ``rate`` is in requests **per second** — a number, or a
+        callable of simulated time (µs) for diurnal shapes (build one
+        with :func:`~repro.workloads.arrivals.diurnal_profile` using
+        per-second rates; its ``.peak`` attribute supplies the thinning
+        cap).  ``mk`` is the (m, k)-firm SLO, ``value`` the accrued
+        value per satisfied request, ``deadline`` the end-to-end
+        relative deadline (µs; None = unconstrained).
+        """
+        if any(t.name == name for t in self._tenants):
+            raise ValueError(f"duplicate tenant {name!r}")
+        if not name or any(c in name for c in ":/#"):
+            raise ValueError(f"tenant name {name!r} must be non-empty and "
+                             "contain none of ':', '/', '#'")
+        if rate is not None and not callable(rate) and rate < 0:
+            raise ValueError("rate must be >= 0")
+        if value < 1:
+            raise ValueError("value must be >= 1")
+        TenantSLO(name, value=value, mk=mk)  # validates mk
+        self._tenants.append(_TenantSpec(name, rate, mk, value, deadline))
+        return self
+
+    def cells(self, count: int) -> "Scenario":
+        """Replicate the tier topology into ``count`` independent
+        cells; tenants are pinned round-robin (tenant *i* → cell
+        ``i % count``).  Cells are the sharding unit: a request DAG
+        never leaves its cell, so ``run(shards=N)`` partitions whole
+        cells across workers."""
+        if count < 1:
+            raise ValueError("cells must be >= 1")
+        self._cells = count
+        return self
+
+    def load(self, multiplier: float) -> "Scenario":
+        """Scale every tenant's arrival rate (the 1×–10× axis of the
+        overload experiments)."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be > 0")
+        self._load = float(multiplier)
+        return self
+
+    def policy(self, name: str, **kwargs: Any) -> "Scenario":
+        """Select the per-node scheduling policy: ``"edf"`` (default),
+        ``"spring"``, ``"fifo"``, ``"rm"`` or ``"dm"`` (the static two
+        require an all-periodic :meth:`task` workload).  ``kwargs`` are
+        forwarded to the scheduler constructor (e.g. ``w_sched=0``)."""
+        if name not in _DYNAMIC_POLICIES + _STATIC_POLICIES:
+            raise ValueError(
+                f"unknown policy {name!r} (expected one of "
+                f"{_DYNAMIC_POLICIES + _STATIC_POLICIES})")
+        self._policy = (name, dict(kwargs))
+        return self
+
+    def admission(self, policy: str = "reject",
+                  test: Optional[GuaranteeTest] = None,
+                  mk: Optional[Tuple[int, int]] = None,
+                  queue_capacity: int = 256,
+                  w_adm: int = 0) -> "Scenario":
+        """Route every request through per-ingress-node admission
+        control (:mod:`repro.admission`) under the given overload
+        ``policy`` (``"reject"`` | ``"shed"`` | ``"mk_firm"``).
+
+        ``test`` defaults to the pooled
+        :class:`~repro.admission.guarantee.ResponseTimeTest`; ``mk`` is
+        the default (m, k) window for ``mk_firm`` (tenant declarations
+        override it per task); ``w_adm`` defaults to 0 so the guarantee
+        test does not need an interference hook for its own cost.
+        """
+        if policy not in ("reject", "shed", "mk_firm"):
+            raise ValueError(
+                "scenario admission supports reject/shed/mk_firm")
+        self._admission = {
+            "policy": policy,
+            "test": test,
+            "mk": mk,
+            "queue_capacity": queue_capacity,
+            "w_adm": w_adm,
+        }
+        return self
+
+    # -- generic (paper-shaped) declarations --------------------------------
+
+    def node(self, *node_ids: str) -> "Scenario":
+        """Add plain nodes (generic workloads without tiers)."""
+        for node_id in node_ids:
+            if node_id in self._extra_nodes:
+                raise ValueError(f"duplicate node {node_id!r}")
+            self._extra_nodes.append(node_id)
+        return self
+
+    def task(self, task: Task, periodic: Optional[int] = None) -> "Scenario":
+        """Register a hand-built HEUG.  With ``periodic=count`` the
+        task is driven from its periodic arrival law for ``count``
+        activations; otherwise it is only made known (activate it
+        through ``result.system``)."""
+        self._tasks.append((task, periodic))
+        return self
+
+    def costs(self, costs: Optional[DispatcherCosts]) -> "Scenario":
+        """Dispatcher cost constants (default: zero — scenario
+        guarantee tests then need no interference hook; pass
+        ``DispatcherCosts()`` for the §4.2 realistic constants)."""
+        self._costs = costs
+        return self
+
+    def options(self, **kwargs: Any) -> "Scenario":
+        """Pass-through :class:`~repro.system.HadesSystem` constructor
+        options (``backend=``, ``metrics=``, ``network_latency=``,
+        ``trace_maxlen=`` ...), merged over previous calls."""
+        for forbidden in ("node_ids", "owned_nodes", "costs"):
+            if forbidden in kwargs:
+                raise ValueError(f"{forbidden}= is managed by the "
+                                 "scenario; use its fluent methods")
+        self._options.update(kwargs)
+        return self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Master seed for traffic and service-time generation (also
+        settable per run: ``run(seed=...)``)."""
+        self._seed = int(seed)
+        return self
+
+    def stagger(self, quantum: int) -> "Scenario":
+        """Quantize arrivals onto per-cell residue classes mod
+        ``quantum`` (cell *c* arrives at instants ``≡ c * (quantum //
+        cells)``).
+
+        This is the residue-class discipline of the sharded
+        determinism harness (``tests/test_sharded_determinism.py``):
+        when every duration is a multiple of the quantum — WCETs,
+        network latency, zero jitter/costs, no heavy-tailed ``service``
+        models — no two cells ever record at the same instant, and the
+        sharded merge is **byte-identical** to the serial trace, not
+        just scoreboard-identical.  Requires ``cells <= quantum / 2``.
+        """
+        if quantum < 2:
+            raise ValueError("quantum must be >= 2")
+        if self._cells > quantum // 2:
+            raise ValueError("stagger needs cells <= quantum / 2")
+        self._stagger = quantum
+        return self
+
+    # -- derived structure -------------------------------------------------
+
+    def _node_id(self, cell: int, tier: str, replica: int) -> str:
+        return f"c{cell}.{tier}{replica}"
+
+    def node_ids(self) -> List[str]:
+        """Every node of the deployment, cells first, then extras."""
+        nodes = [self._node_id(cell, tier.name, replica)
+                 for cell in range(self._cells)
+                 for tier in self._tiers
+                 for replica in range(tier.replicas)]
+        nodes.extend(self._extra_nodes)
+        if not nodes:
+            raise ValueError("scenario declares no tiers and no nodes")
+        return nodes
+
+    def partition(self, shards: int) -> List[List[str]]:
+        """Cell-aligned node partition for ``run(shards=N)``.
+
+        Cells are split into **contiguous** blocks (cells 0..j to shard
+        0, the next block to shard 1, ...; extra nodes ride on the last
+        shard).  Contiguity matters for byte-identity: construction-
+        time records (thread spawns at t=0) appear in cell order in a
+        serial trace, and the sharded merge key groups same-instant
+        records by shard rank — contiguous blocks make those two
+        orders agree.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > self._cells:
+            raise ValueError(
+                f"shards={shards} exceeds cells={self._cells}; a cell "
+                "is the smallest shard unit (declare more cells)")
+        base, extra = divmod(self._cells, shards)
+        groups: List[List[str]] = []
+        cell = 0
+        for rank in range(shards):
+            block = base + (1 if rank < extra else 0)
+            group: List[str] = []
+            for _ in range(block):
+                group.extend(self._node_id(cell, tier.name, replica)
+                             for tier in self._tiers
+                             for replica in range(tier.replicas))
+                cell += 1
+            groups.append(group)
+        groups[-1].extend(self._extra_nodes)
+        return groups
+
+    def _ingress_node(self, tenant_index: int) -> str:
+        tier0 = self._tiers[0]
+        cell = tenant_index % self._cells
+        return self._node_id(cell, tier0.name, tenant_index % tier0.replicas)
+
+    def _cumulative_budgets(self) -> Optional[List[int]]:
+        if any(t.budget is None for t in self._tiers):
+            return None
+        totals, running = [], 0
+        for tier in self._tiers:
+            running += tier.budget
+            totals.append(running)
+        return totals
+
+    def _tenant_task(self, spec: _TenantSpec, tenant_index: int) -> Task:
+        """Build one tenant's request DAG (tree fan-out + reply fan-in)."""
+        cell = tenant_index % self._cells
+        budgets = self._cumulative_budgets()
+        task = Task(spec.name, deadline=spec.deadline, arrival=Aperiodic())
+        previous: List[Any] = []
+        width = 1
+        for depth, tier in enumerate(self._tiers):
+            layer = []
+            for j in range(width):
+                eu_name = f"{tier.name}:{j}"
+                actual = None
+                if tier.service is not None:
+                    actual = tier.service.sampler(
+                        tier.wcet,
+                        derive_seed(self._seed, spec.name, eu_name))
+                attrs = (EUAttributes(deadline=budgets[depth])
+                         if budgets else None)
+                layer.append(task.code_eu(
+                    eu_name, wcet=tier.wcet,
+                    node_id=self._node_id(
+                        cell, tier.name,
+                        (tenant_index + j) % tier.replicas),
+                    actual_time=actual, attrs=attrs))
+            if previous:
+                fan = self._tiers[depth - 1].fan_out
+                for j, unit in enumerate(layer):
+                    task.precede(previous[j // fan], unit)
+            previous = layer
+            width *= tier.fan_out
+        reply = task.code_eu(
+            "reply:0", wcet=self._tiers[0].wcet,
+            node_id=self._ingress_node(tenant_index),
+            actual_time=(self._tiers[0].service.sampler(
+                self._tiers[0].wcet,
+                derive_seed(self._seed, spec.name, "reply:0"))
+                if self._tiers[0].service is not None else None),
+            attrs=(EUAttributes(deadline=spec.deadline)
+                   if budgets and spec.deadline else None))
+        for unit in previous:
+            task.precede(unit, reply)
+        return task.validate()
+
+    def _tenant_arrivals(self, spec: _TenantSpec,
+                         tenant_index: int) -> List[int]:
+        """Absolute request times over the horizon (NHPP, per-second
+        rates scaled by the load multiplier; optionally quantized onto
+        the cell's :meth:`stagger` residue class)."""
+        if spec.rate is None:
+            return []
+        seed = derive_seed(self._seed, spec.name, "arrivals")
+        scale = self._load / 1_000_000.0  # req/s -> req/µs, under load
+        if callable(spec.rate):
+            base = spec.rate
+            peak = getattr(base, "peak", None)
+            if peak is None:
+                raise ValueError(
+                    f"tenant {spec.name!r}: a callable rate needs a "
+                    ".peak attribute (see diurnal_profile)")
+
+            def scaled(t: float, _base=base, _scale=scale) -> float:
+                return _base(t) * _scale
+
+            times = nhpp_arrivals(scaled, self._horizon, seed=seed,
+                                  rate_cap=peak * scale)
+        else:
+            times = nhpp_arrivals(spec.rate * scale, self._horizon,
+                                  seed=seed)
+        if self._stagger:
+            quantum = self._stagger
+            if self._cells > quantum // 2:
+                raise ValueError("stagger needs cells <= quantum / 2")
+            phase = (tenant_index % self._cells) * (quantum // self._cells)
+            times = [t - t % quantum + phase for t in times
+                     if t - t % quantum + phase < self._horizon]
+        return times
+
+    def _inflated_wcet(self, task: Task) -> int:
+        """Suspension-oblivious submission WCET: total CPU demand plus
+        a delivery bound per remote precedence edge, so the pooled
+        single-CPU guarantee test upper-bounds the distributed DAG."""
+        latency = self._options.get("network_latency", 50)
+        jitter = self._options.get("network_jitter", 0)
+        remote = sum(1 for edge in task.edges if task.is_remote(edge))
+        return task.total_wcet() + remote * (latency + jitter)
+
+    # -- construction ------------------------------------------------------
+
+    def _cell_nodes(self, cell: int) -> List[str]:
+        return [self._node_id(cell, tier.name, replica)
+                for tier in self._tiers
+                for replica in range(tier.replicas)]
+
+    def _attach_schedulers(self, system: HadesSystem,
+                           node_ids: Sequence[str]) -> None:
+        from repro.scheduling import (DMScheduler, EDFScheduler,
+                                      FIFOScheduler, RMScheduler,
+                                      SpringScheduler)
+        name, kwargs = self._policy
+        if name in _STATIC_POLICIES and self._tenants:
+            raise ValueError(
+                f"policy {name!r} needs periodic tasks; tenant request "
+                "streams are aperiodic — use edf/spring/fifo")
+        for node_id in node_ids:
+            if name == "edf":
+                sched = EDFScheduler(scope=node_id, **kwargs)
+            elif name == "spring":
+                sched = SpringScheduler(scope=node_id, **kwargs)
+            elif name == "fifo":
+                sched = FIFOScheduler(scope=node_id, **kwargs)
+            else:
+                here = [t for t, _ in self._tasks
+                        if any(t.node_of(eu) == node_id for eu in t.eus)]
+                cls = RMScheduler if name == "rm" else DMScheduler
+                sched = cls(here, scope=node_id, **kwargs)
+            system.attach_scheduler(sched)
+            system._scenario_schedulers.append(sched)
+
+    def _build_service_cell(self, system: HadesSystem,
+                            plans: List[Tuple[_TenantSpec, str, Task,
+                                              List[int]]]) -> None:
+        """Wire one cell's controllers and request traffic."""
+        controllers: Dict[str, AdmissionController] = {}
+        if self._admission is not None:
+            by_node: Dict[str, List[_TenantSpec]] = {}
+            for spec, node, _task, _times in plans:
+                by_node.setdefault(node, []).append(spec)
+            adm = self._admission
+            for node in sorted(by_node):
+                # Shard replicas only run admission for owned nodes —
+                # a foreign controller would re-emit trace records the
+                # owning shard already produces.
+                if not system.owns(node):
+                    continue
+                overrides = {spec.name: spec.mk
+                             for spec in by_node[node]
+                             if spec.mk is not None}
+                default_mk = adm["mk"]
+                if adm["policy"] == "mk_firm" and default_mk is None:
+                    # Tenants without an (m, k) declaration get the
+                    # strictest window: a failed guarantee is always a
+                    # violation, never a permitted skip.
+                    default_mk = (1, 1)
+                controllers[node] = AdmissionController(
+                    system.dispatcher, node,
+                    test=adm["test"] or ResponseTimeTest(),
+                    policy=adm["policy"],
+                    queue_capacity=adm["queue_capacity"],
+                    w_adm=adm["w_adm"],
+                    mk=default_mk,
+                    mk_overrides=overrides or None)
+        system._scenario_controllers.extend(controllers.values())
+        for spec, node, task, times in plans:
+            if self._admission is None:
+                system.dispatcher.register_arrivals(task, times)
+                continue
+            controller = controllers.get(node)
+            if controller is None:
+                continue  # foreign cell on this shard replica
+            wcet = self._inflated_wcet(task)
+            for when in times:
+                system.sim.call_at(
+                    when,
+                    lambda c=controller, t=task, v=spec.value, w=wcet:
+                    c.submit(t, v, wcet=w))
+
+    def _build_into(self, system: HadesSystem) -> None:
+        """The replayable scripted builder (deterministic and
+        shard-agnostic, as ``HadesSystem.scripted`` requires).
+
+        Construction is **cell-major**: each cell's schedulers,
+        controllers and traffic are wired together before the next
+        cell's.  Serial time-0 records (thread spawns) then appear in
+        cell order, matching the sharded merge over the contiguous
+        :meth:`partition` — the remaining ingredient of byte-identity.
+        """
+        system._scenario_schedulers = []
+        system._scenario_controllers = []
+        if self._tenants and not self._tiers:
+            raise ValueError("tenants declared without tiers")
+        if self._tiers:
+            by_cell: Dict[int, List[Tuple[_TenantSpec, str, Task,
+                                          List[int]]]] = {}
+            for index, spec in enumerate(self._tenants):
+                by_cell.setdefault(index % self._cells, []).append(
+                    (spec, self._ingress_node(index),
+                     self._tenant_task(spec, index),
+                     self._tenant_arrivals(spec, index)))
+            for cell in range(self._cells):
+                self._attach_schedulers(system, self._cell_nodes(cell))
+                self._build_service_cell(system, by_cell.get(cell, []))
+            self._attach_schedulers(system, self._extra_nodes)
+        else:
+            self._attach_schedulers(system, list(system.nodes))
+        for task, periodic in self._tasks:
+            if periodic is not None:
+                system.register_periodic(task, count=periodic)
+            else:
+                system.dispatcher.known_tasks.setdefault(task.name, task)
+
+    def build(self) -> HadesSystem:
+        """Construct the (replayable, un-run) system."""
+        if self._tenants and self._horizon is None:
+            raise ValueError(
+                "tenant traffic needs a horizon: run(until=...)")
+        kwargs = dict(self._options)
+        kwargs["costs"] = self._costs
+        return HadesSystem.scripted(self._build_into,
+                                    node_ids=self.node_ids(), **kwargs)
+
+    def run(self, until: Optional[int] = None, seed: Optional[int] = None,
+            shards: Optional[int] = None) -> ScenarioResult:
+        """Build and execute; returns a :class:`ScenarioResult`.
+
+        ``until`` doubles as the traffic horizon (required when tenants
+        are declared); ``shards=N`` runs the conservative parallel
+        executor over the cell-aligned :meth:`partition` — the merged
+        trace, and therefore the scoreboard, is byte-identical to the
+        serial run.
+        """
+        if seed is not None:
+            self._seed = int(seed)
+        if until is not None:
+            self._horizon = until
+        system = self.build()
+        shard_result = None
+        if shards is not None and shards > 1:
+            shard_result = system.run(until=self._horizon,
+                                      partition=self.partition(shards))
+        else:
+            system.run(until=self._horizon)
+        scoreboard = Scoreboard.from_records(
+            system.tracer.records,
+            [spec.slo() for spec in self._tenants],
+            tiers=[tier.name for tier in self._tiers])
+        scoreboard.publish(system.metrics)
+        return ScenarioResult(self, system, scoreboard,
+                              shard_result=shard_result)

@@ -16,7 +16,11 @@ algorithm, and SRP") or with any fixed-priority scheduler.
 
 Only the *first* unit of a task instance is gated: once a job has
 started, SRP guarantees it never blocks, so mid-graph units pass
-freely.
+freely.  Because the dispatcher grants resources at unit *release*
+rather than at execution start, a start decision taken mid-instant
+could race with a same-instant grant to an already-started job; the
+gate therefore defers its decision to the tail of the current instant
+(same timestamp) whenever another managed job is in flight.
 """
 
 from __future__ import annotations
@@ -77,6 +81,8 @@ class SRPProtocol(SchedulerBase):
         self.ceilings: Dict[Resource, int] = resource_ceilings(
             self.tasks, self.levels)
         self._started_instances: Set = set()
+        self._settled_at = -1
+        self._settle_pending = False
         self.blocked_starts = 0
 
     # -- gate ------------------------------------------------------------
@@ -103,11 +109,39 @@ class SRPProtocol(SchedulerBase):
         instance_key = eui.instance.key
         if instance_key in self._started_instances:
             return True  # SRP only gates the job's first unit
+        if self._settled_at != self.dispatcher.sim.now and \
+                self._started_instances:
+            # The dispatcher grants resources when a unit is *released*
+            # (its predecessor finishes), and events at one simulated
+            # instant drain in insertion order: a started job's grant
+            # can still be pending behind us in this instant's queue.
+            # Deciding now would test a stale ceiling and could admit a
+            # job that then blocks mid-graph.  Defer the decision to
+            # the tail of the instant — same timestamp, settled state.
+            self._arm_settle()
+            return False
         if self.level_of(eui) > self.system_ceiling():
             self._started_instances.add(instance_key)
             return True
         self.blocked_starts += 1
         return False
+
+    def _arm_settle(self) -> None:
+        if not self._settle_pending:
+            self._settle_pending = True
+            sim = self.dispatcher.sim
+            sim.call_at(sim.now, self._settle_tick)
+
+    def _settle_tick(self) -> None:
+        sim = self.dispatcher.sim
+        if sim.next_event_time() == sim.now:
+            # More work queued at this instant (grant chains run through
+            # zero-delay events) — stay behind it.
+            sim.call_at(sim.now, self._settle_tick)
+            return
+        self._settle_pending = False
+        self._settled_at = sim.now
+        self.dispatcher.reevaluate_gated()
 
     # -- notifications -----------------------------------------------------
 

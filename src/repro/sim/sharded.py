@@ -414,9 +414,12 @@ def run_sharded(system, until: Optional[int] = None,
             "(POSIX); run serially on this platform") from exc
 
     kwargs = dict(system._scripted_kwargs or {})
-    # Pin the resolved backend so workers cannot re-resolve differently
-    # (e.g. if the environment changed after construction).
-    kwargs["backend"] = system.backend
+    # Overwrite everything RunOptions owns with the parent's resolved
+    # bundle: pins the backend so workers cannot re-resolve differently
+    # (e.g. if the environment changed after construction) and
+    # normalizes deprecated option spellings before replay.
+    kwargs.pop("categories", None)
+    kwargs.update(system.options.to_kwargs())
 
     if trace_dir is None:
         trace_dir = tempfile.mkdtemp(prefix="repro-shards-")

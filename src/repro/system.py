@@ -14,7 +14,10 @@ benchmarks start with::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
 
 from repro.core.costs import DispatcherCosts, KernelActivity
 from repro.core.dispatcher import Dispatcher
@@ -26,6 +29,65 @@ from repro.network.network import Network
 from repro.obs.metrics import RunReport, resolve_metrics
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """The observability/engine options a run is configured with.
+
+    One resolved bundle shared by every construction path —
+    ``HadesSystem(...)``, :meth:`HadesSystem.scripted`, and the sharded
+    executor's worker replicas — instead of each re-plumbing
+    ``metrics=`` / ``trace_categories=`` / ``backend=`` separately.
+    ``metrics`` holds the caller's *spec* (None/True/registry, see
+    :func:`repro.obs.resolve_metrics`), not the resolved registry, so
+    the bundle stays replayable; ``backend`` is pinned to the resolved
+    name once the engine exists (:meth:`pinned`), so worker processes
+    cannot re-resolve ``REPRO_SIM_BACKEND`` differently.
+    """
+
+    metrics: Any = None
+    trace_maxlen: Optional[int] = None
+    trace_categories: Optional[Tuple[str, ...]] = None
+    backend: Optional[str] = None
+
+    @classmethod
+    def resolve(cls, metrics: Any = None,
+                trace_maxlen: Optional[int] = None,
+                trace_categories: Optional[Iterable[str]] = None,
+                backend: Optional[str] = None,
+                categories: Optional[Iterable[str]] = None) -> "RunOptions":
+        """Normalize raw constructor kwargs into one options bundle.
+
+        ``categories=`` is the deprecated spelling of
+        ``trace_categories=`` (the :class:`~repro.sim.trace.Tracer`
+        parameter name leaked into one layer above it); it still works
+        but warns, and giving both is an error.
+        """
+        if categories is not None:
+            warnings.warn(
+                "categories= is deprecated here; it is the Tracer's "
+                "parameter name — use trace_categories=",
+                DeprecationWarning, stacklevel=3)
+            if trace_categories is not None:
+                raise ValueError(
+                    "give trace_categories= or categories=, not both")
+            trace_categories = categories
+        if trace_categories is not None:
+            trace_categories = tuple(trace_categories)
+        return cls(metrics=metrics, trace_maxlen=trace_maxlen,
+                   trace_categories=trace_categories, backend=backend)
+
+    def pinned(self, backend: str) -> "RunOptions":
+        """A copy with ``backend`` fixed to the resolved engine name."""
+        return replace(self, backend=backend)
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        """The bundle as ``HadesSystem`` constructor kwargs."""
+        return {"metrics": self.metrics,
+                "trace_maxlen": self.trace_maxlen,
+                "trace_categories": self.trace_categories,
+                "backend": self.backend}
 
 
 class HadesSystem:
@@ -48,7 +110,8 @@ class HadesSystem:
                  trace_categories: Optional[Iterable[str]] = None,
                  backend: Optional[str] = None,
                  owned_nodes: Optional[Iterable[str]] = None,
-                 lazy_links: bool = False):
+                 lazy_links: bool = False,
+                 categories: Optional[Iterable[str]] = None):
         # ``metrics`` accepts a MetricsRegistry, True (create one), or
         # None/False (disabled — the near-zero-cost default); see
         # :func:`repro.obs.resolve_metrics` for the full contract.
@@ -63,11 +126,19 @@ class HadesSystem:
         # only the owned subset activates tasks, sends messages or runs
         # background activity.  ``lazy_links`` defers full-mesh link
         # construction to first use (see :class:`repro.network.Network`).
-        self.metrics = resolve_metrics(metrics)
-        self.sim = Simulator(metrics=self.metrics, backend=backend)
+        # ``categories`` is the deprecated spelling of
+        # ``trace_categories`` (see :meth:`RunOptions.resolve`).
+        options = RunOptions.resolve(
+            metrics=metrics, trace_maxlen=trace_maxlen,
+            trace_categories=trace_categories, backend=backend,
+            categories=categories)
+        self.metrics = resolve_metrics(options.metrics)
+        self.sim = Simulator(metrics=self.metrics, backend=options.backend)
         self.backend = self.sim.backend
-        self.tracer = Tracer(lambda: self.sim.now, maxlen=trace_maxlen,
-                             categories=trace_categories)
+        self.options = options.pinned(self.sim.backend)
+        self.tracer = Tracer(lambda: self.sim.now,
+                             maxlen=options.trace_maxlen,
+                             categories=options.trace_categories)
         self.monitor = ExecutionMonitor()
         node_ids = list(node_ids)
         self.owned_nodes: Optional[frozenset] = None
@@ -113,9 +184,18 @@ class HadesSystem:
         self._builder: Optional[Callable[["HadesSystem"], Any]] = None
         self._scripted_kwargs: Optional[Dict[str, Any]] = None
 
-    def _owns(self, node_id: str) -> bool:
-        """Whether this (possibly shard-replica) system owns ``node_id``."""
+    def owns(self, node_id: str) -> bool:
+        """Whether this (possibly shard-replica) system owns ``node_id``.
+
+        Always true for a whole-system instance.  Scripted builders that
+        construct per-node *services* (admission controllers, T_network
+        managers, custom monitors) should gate on this so a shard
+        replica only runs services for its own nodes.
+        """
         return self.owned_nodes is None or node_id in self.owned_nodes
+
+    # Backwards-compatible private alias (pre-1.5 internal spelling).
+    _owns = owns
 
     @classmethod
     def scripted(cls, build: Callable[["HadesSystem"], Any],
@@ -130,6 +210,11 @@ class HadesSystem:
         where activity on foreign nodes silently becomes a no-op.
         Constructor ``kwargs`` are replayed too, so they must not
         include ``owned_nodes`` (the sharder assigns it).
+
+        For service-shaped workloads (tiers, tenants, SLOs), prefer the
+        fluent :class:`repro.scenarios.Scenario` facade — it builds a
+        scripted system like this one underneath, so everything here
+        (sharding, backends, determinism) applies to it unchanged.
         """
         if "owned_nodes" in kwargs:
             raise ValueError("scripted() builds whole systems; "

@@ -20,6 +20,8 @@ task sets.  This package provides:
 
 from repro.workloads.arrivals import (
     bursty_arrivals,
+    diurnal_profile,
+    nhpp_arrivals,
     overload_ramp_arrivals,
     periodic_arrivals,
     sporadic_arrivals,
@@ -45,6 +47,8 @@ __all__ = [
     "RATE_GROUP_PERIODS",
     "avionics_taskset",
     "bursty_arrivals",
+    "diurnal_profile",
+    "nhpp_arrivals",
     "overload_ramp_arrivals",
     "periodic_arrivals",
     "sporadic_arrivals",

@@ -11,8 +11,9 @@ arrival-time lists (deterministic per seed) for
 
 from __future__ import annotations
 
+import math
 import random
-from typing import List
+from typing import Callable, List, Union
 
 from repro.core.attributes import Periodic, Sporadic
 
@@ -120,6 +121,15 @@ def overload_ramp_arrivals(horizon: int, wcet: int,
     keeping the stream deterministic per seed.  ``peak_load > 1``
     produces a sustained overload ramp — the admission-control stress
     pattern.  Arrivals lie in ``[0, horizon)``.
+
+    With ``start_load == peak_load`` the ramp is degenerate: the load
+    is flat and ``ramp_end`` is irrelevant.  At **exactly 1.0** (the
+    saturation boundary between under- and overload) the unjittered
+    gap is exactly ``wcet``, so the stream is ``[0, wcet, 2*wcet,
+    ...)`` — back-to-back jobs that fill the CPU with zero headroom
+    and zero backlog growth.  Every gap is clamped to >= 1 microsecond
+    after rounding, so loads above ``wcet`` collapse to one arrival
+    per microsecond rather than duplicating timestamps.
     """
     if horizon < 0:
         raise ValueError("horizon must be >= 0")
@@ -144,8 +154,102 @@ def overload_ramp_arrivals(horizon: int, wcet: int,
     return times
 
 
+#: Arrival rate: a constant (arrivals per microsecond) or a function of
+#: absolute simulated time returning the instantaneous rate.
+RateLike = Union[float, Callable[[float], float]]
+
+
+def diurnal_profile(base_rate: float, peak_rate: float, period: int,
+                    phase: int = 0) -> Callable[[float], float]:
+    """A smooth day/night arrival-rate curve (arrivals per microsecond).
+
+    Returns ``rate(t)`` following a raised cosine over ``period``: the
+    trough (``base_rate``) sits at ``t = phase``, the peak
+    (``peak_rate``) half a period later.  Feed the result to
+    :func:`nhpp_arrivals` — the returned callable carries the peak as
+    a ``.peak`` attribute so the thinning cap can be derived
+    automatically.
+    """
+    if period <= 0:
+        raise ValueError("period must be > 0")
+    if base_rate < 0 or peak_rate < base_rate:
+        raise ValueError("need 0 <= base_rate <= peak_rate")
+
+    def rate(t: float) -> float:
+        cycle = math.cos(2.0 * math.pi * (t - phase) / period)
+        return base_rate + (peak_rate - base_rate) * (1.0 - cycle) / 2.0
+
+    rate.peak = peak_rate  # type: ignore[attr-defined]
+    return rate
+
+
+def nhpp_arrivals(rate: RateLike, horizon: int, seed: int = 0,
+                  rate_cap: float = None) -> List[int]:
+    """Nonhomogeneous-Poisson arrivals over ``[0, horizon)``.
+
+    Lewis & Shedler thinning: candidate points are drawn from a
+    homogeneous Poisson process at ``rate_cap`` (arrivals per
+    microsecond) and kept with probability ``rate(t) / rate_cap``.
+    ``rate`` may be a constant or a callable of absolute time (e.g. a
+    :func:`diurnal_profile`); the cap defaults to the constant rate,
+    or to the callable's ``.peak`` attribute when it has one.  The
+    instantaneous rate must never exceed the cap (checked).  Times are
+    floored to integer microseconds, so the list is nondecreasing and
+    may contain duplicates at high rates — exactly what a
+    millions-of-users ingress produces.  Deterministic per seed.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    if callable(rate):
+        rate_fn = rate
+        if rate_cap is None:
+            rate_cap = getattr(rate, "peak", None)
+        if rate_cap is None:
+            raise ValueError("a callable rate needs rate_cap= (or a "
+                             ".peak attribute, see diurnal_profile)")
+    else:
+        constant = float(rate)
+        if constant < 0:
+            raise ValueError("rate must be >= 0")
+        if constant == 0.0:
+            return []
+        rate_fn = None
+        if rate_cap is None:
+            rate_cap = constant
+    if rate_cap <= 0:
+        raise ValueError("rate_cap must be > 0")
+    rng = random.Random(seed)
+    times: List[int] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_cap)
+        if t >= horizon:
+            return times
+        if rate_fn is None:
+            times.append(int(t))
+            continue
+        lam = rate_fn(t)
+        if lam > rate_cap * (1.0 + 1e-9):
+            raise ValueError(
+                f"rate({t:.0f}) = {lam} exceeds rate_cap {rate_cap}; "
+                f"thinning needs a true upper bound")
+        if lam > 0 and rng.random() * rate_cap <= lam:
+            times.append(int(t))
+
+
 def validate_arrivals(times: List[int], law) -> bool:
-    """Whether an arrival list respects the law's minimum separation."""
+    """Whether an arrival list respects the law's minimum separation.
+
+    A list whose timestamps go *backwards* is malformed input (not an
+    arrival-law question) and raises ``ValueError`` — previously a
+    non-monotone list under an unconstrained law slipped through as
+    valid.  Equal adjacent timestamps are legal input (bursts emit
+    them) and are judged against the law like any other gap.
+    """
+    for a, b in zip(times, times[1:]):
+        if b < a:
+            raise ValueError(
+                f"arrival list is not monotone: {a} followed by {b}")
     gap = law.min_separation()
     if gap is None:
         return True

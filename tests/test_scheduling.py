@@ -247,6 +247,36 @@ class TestSRP:
         assert cs_eui.release_time is not None
         assert before_eui.finish_time == cs_eui.release_time
 
+    def test_same_instant_arrival_and_cs_release_never_block_mid_job(self):
+        # Regression: a job arriving at the exact instant another
+        # started job's critical section is released used to pass the
+        # ceiling test against a stale (not yet granted) resource state,
+        # start, and then block mid-graph on the just-granted resource.
+        # The gate now defers its decision to the tail of the instant.
+        system = make_system()
+        res = Resource("R", node_id="n0")
+        # "slow" runs before for 104; "fast" arrives exactly when slow's
+        # cs unit is released (and granted) at t = 104.
+        slow = self.make_cs_task("slow", res, deadline=30_000,
+                                 wcet_before=104, wcet_cs=297)
+        fast = self.make_cs_task("fast", res, deadline=10_000,
+                                 wcet_before=80, wcet_cs=106)
+        system.attach_scheduler(EDFScheduler(scope="n0", w_sched=0))
+        srp = SRPProtocol([slow, fast], scope="n0", w_sched=0)
+        system.attach_scheduler(srp)
+        system.activate(slow)
+        instances = []
+        system.sim.call_in(104, lambda: instances.append(
+            system.activate(fast)))
+        system.run()
+        fast_inst = instances[0]
+        units = {e.eu.name: e for e in fast_inst.eu_instances.values()}
+        # fast is blocked once, before starting (slow holds R from 104
+        # to 401); once running it never waits again.
+        assert units["before"].release_time == 104 + 297
+        assert units["cs"].release_time == units["before"].finish_time
+        assert srp.blocked_starts >= 1
+
     def test_srp_prevents_unbounded_priority_inversion(self):
         # Without SRP a medium task can interleave between low's CS and
         # high; SRP keeps medium out until high finishes.
