@@ -66,7 +66,9 @@ Deeper layers remain importable for research use:
 * :mod:`repro.workloads` — synthetic task-set generators,
 * :mod:`repro.faults` — fault-injection campaigns,
 * :mod:`repro.analysis` — cost calibration and trace analysis,
-* :mod:`repro.obs` — metrics registry and trace tooling.
+* :mod:`repro.obs` — metrics registry, trace tooling, and the live
+  monitoring plane (:mod:`repro.obs.live`: in-sim time-series, SLO
+  burn-rate alerts, closed-loop reactions).
 """
 
 from repro.admission import (
@@ -89,6 +91,15 @@ from repro.core.heug import (
 from repro.core.attributes import Aperiodic, Periodic, Sporadic
 from repro.faults import Campaign, CampaignResult, FaultPlan, random_plan
 from repro.obs.forensics import forensics_report
+from repro.obs.live import (
+    Alert,
+    BurnRateRule,
+    LiveMonitor,
+    SloSpec,
+    react_degrade,
+    react_reconfigure,
+    react_revert,
+)
 from repro.obs.metrics import MetricsRegistry, RunReport, resolve_metrics
 from repro.obs.spans import SpanForest, critical_path, decompose, reconstruct
 from repro.obs.timeline import build_timeline, write_timeline
@@ -118,7 +129,7 @@ from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem, RunOptions
 from repro.workloads.arrivals import diurnal_profile, nhpp_arrivals
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # deployment facade
@@ -179,6 +190,14 @@ __all__ = [
     "Tracer",
     "TraceRecord",
     "load_trace",
+    # live monitoring plane (burn-rate SLO alerts, closed-loop reactions)
+    "LiveMonitor",
+    "SloSpec",
+    "BurnRateRule",
+    "Alert",
+    "react_reconfigure",
+    "react_degrade",
+    "react_revert",
     # sharded conservative parallel simulation
     "ShardRunResult",
     "auto_partition",

@@ -281,6 +281,42 @@ class AdmissionController:
             self.sim.call_at(time,
                              lambda t=task, v=value: self.submit(t, v))
 
+    def reconfigure(self, policy: Optional[str] = None,
+                    test: Optional[GuaranteeTest] = None,
+                    trigger: str = "explicit") -> None:
+        """Swap the overload policy and/or the guarantee test online.
+
+        The change applies to every decision made after the current
+        instant — queued requests included — and records an
+        ``admission reconfigure`` trace event so the reconfiguration
+        itself is an attributable causal step (e.g. a live-monitor
+        burn-rate reaction).  A no-op call records nothing.
+        """
+        if policy is None and test is None:
+            return
+        if policy is not None and policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r} "
+                             f"(expected one of {_POLICIES})")
+        if policy == "mk_firm" and self.mk is None:
+            raise ValueError("mk_firm policy requires mk=(m, k)")
+        if policy == "degrade" and (self.mode_manager is None
+                                    or self.degraded_mode is None):
+            raise ValueError("degrade policy requires mode_manager "
+                             "and degraded_mode")
+        details: Dict[str, str] = {}
+        if policy is not None and policy != self.policy:
+            details["from_policy"] = self.policy
+            details["to_policy"] = policy
+            self.policy = policy
+        if test is not None and test is not self.test:
+            details["from_test"] = self.test.name
+            details["to_test"] = test.name
+            self.test = test
+        if details:
+            self.tracer.record("admission", "reconfigure",
+                               node=self.node_id, trigger=trigger,
+                               **details)
+
     # -- the service task --------------------------------------------------
 
     def _wake(self) -> None:

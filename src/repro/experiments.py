@@ -56,6 +56,7 @@ EXPERIMENTS = {
     "E20": "bench_engine_hotpath.py",
     "E21": "bench_sharded_scaling.py",
     "E22": "bench_service_scenarios.py",
+    "E23": "bench_live_monitoring.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

@@ -21,7 +21,20 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     RunReport,
     aggregate_reports,
+    exact_quantile,
     resolve_metrics,
+)
+from repro.obs.live import (
+    Alert,
+    BurnRateRule,
+    Ewma,
+    LiveMonitor,
+    RollingCounter,
+    SloSpec,
+    TumblingHistogram,
+    react_degrade,
+    react_reconfigure,
+    react_revert,
 )
 from repro.obs.forensics import (
     Contributor,
@@ -32,6 +45,7 @@ from repro.obs.forensics import (
 from repro.obs.spans import (
     ActivationSpan,
     AdmissionEvent,
+    AlertEvent,
     CpuSlice,
     CriticalHop,
     Decomposition,
@@ -58,7 +72,19 @@ __all__ = [
     "NullMetricsRegistry",
     "RunReport",
     "aggregate_reports",
+    "exact_quantile",
     "resolve_metrics",
+    # live monitoring plane
+    "Alert",
+    "BurnRateRule",
+    "Ewma",
+    "LiveMonitor",
+    "RollingCounter",
+    "SloSpec",
+    "TumblingHistogram",
+    "react_degrade",
+    "react_reconfigure",
+    "react_revert",
     "JsonlStream",
     "Tracer",
     "TraceRecord",
@@ -66,6 +92,7 @@ __all__ = [
     # causal spans & forensics
     "ActivationSpan",
     "AdmissionEvent",
+    "AlertEvent",
     "CpuSlice",
     "CriticalHop",
     "Decomposition",

@@ -281,6 +281,19 @@ def forensics_report(source: TraceSource,
             f"{by_event.get('skip', 0)} skipped, "
             f"{by_event.get('forward', 0)} forwarded "
             f"({by_event.get('forward_timeout', 0)} timed out)")
+    if forest.alerts:
+        # Alert transitions bracket the misses below in time — a miss
+        # inside a raise..clear window was a *detected* failure.
+        raises = sum(1 for a in forest.alerts if a.event == "raise")
+        clears = sum(1 for a in forest.alerts if a.event == "clear")
+        lines.append(f"alerts: {raises} raised, {clears} cleared")
+        for alert in forest.alerts:
+            burn = alert.detail.get("burn_fast_milli")
+            lines.append(
+                f"  {alert.time:>10}us {alert.event:<11} "
+                f"{alert.tenant}/{alert.rule}"
+                + (f" burn={burn / 1000:.2f}x" if burn is not None
+                   else ""))
     lines.append("")
     if not misses:
         lines.append("no deadline misses.")

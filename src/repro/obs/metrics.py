@@ -30,6 +30,7 @@ __all__ = [
     "NULL_METRICS",
     "RunReport",
     "aggregate_reports",
+    "exact_quantile",
     "resolve_metrics",
 ]
 
@@ -39,6 +40,24 @@ DEFAULT_BUCKETS: Tuple[int, ...] = (
     10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000,
     50_000, 100_000, 250_000, 500_000, 1_000_000,
 )
+
+
+def exact_quantile(sample: Sequence[int], q: float) -> Optional[int]:
+    """Nearest-rank quantile of a **sorted** sample (None if empty).
+
+    This is the one exact-quantile implementation in the tree: the
+    scenario scoreboard, the live monitoring windows and the campaign
+    reports all call it, so "p99" means the same thing everywhere.
+    Nearest-rank (not interpolated) keeps the result an observed value
+    — an integer on integer samples — which is what byte-identical
+    cross-shard comparisons need.
+    """
+    if not sample:
+        return None
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    rank = max(1, -(-int(len(sample) * q * 1_000_000) // 1_000_000))
+    return sample[min(rank, len(sample)) - 1]
 
 
 class Counter:
@@ -170,6 +189,45 @@ class HistogramSnapshot:
         return cls(buckets=tuple(raw["buckets"]), counts=tuple(raw["counts"]),
                    count=raw["count"], total=raw["total"],
                    min_value=raw["min"], max_value=raw["max"])
+
+    @classmethod
+    def merge(cls, snapshots: Sequence["HistogramSnapshot"],
+              name: str = "histogram") -> "HistogramSnapshot":
+        """Merge snapshots of disjoint observation sets bucket-wise.
+
+        The documented cross-seed/cross-window aggregation path: both
+        :func:`aggregate_reports` (campaign reports) and the live
+        monitoring windows (:mod:`repro.obs.live`) merge through here,
+        so they cannot drift apart.  All snapshots must share bucket
+        bounds — merging histograms with different bounds would need
+        re-binning, which loses information, so it raises instead
+        (``name`` only labels the error).
+        """
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError(f"histogram {name!r}: nothing to merge")
+        first = snapshots[0]
+        counts = list(first.counts)
+        count, total = first.count, first.total
+        min_value, max_value = first.min_value, first.max_value
+        for snap in snapshots[1:]:
+            if snap.buckets != first.buckets:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ across runs")
+            counts = [a + b for a, b in zip(counts, snap.counts)]
+            count += snap.count
+            total += snap.total
+            if min_value is None:
+                min_value = snap.min_value
+            elif snap.min_value is not None:
+                min_value = min(min_value, snap.min_value)
+            if max_value is None:
+                max_value = snap.max_value
+            elif snap.max_value is not None:
+                max_value = max(max_value, snap.max_value)
+        return cls(buckets=first.buckets, counts=tuple(counts),
+                   count=count, total=total,
+                   min_value=min_value, max_value=max_value)
 
 
 # --------------------------------------------------------------------------
@@ -416,7 +474,7 @@ def aggregate_reports(reports: Sequence[RunReport]) -> RunReport:
     counters: Dict[str, int] = {}
     gauge_values: Dict[str, List[float]] = {}
     gauge_maxima: Dict[str, float] = {}
-    histograms: Dict[str, Dict[str, Any]] = {}
+    histograms: Dict[str, List[HistogramSnapshot]] = {}
     for report in reports:
         for name, value in report.counters.items():
             counters[name] = counters.get(name, 0) + value
@@ -425,36 +483,12 @@ def aggregate_reports(reports: Sequence[RunReport]) -> RunReport:
             gauge_maxima[name] = max(gauge_maxima.get(name, gauge["max"]),
                                      gauge["max"])
         for name, hist in report.histograms.items():
-            merged = histograms.get(name)
-            if merged is None:
-                histograms[name] = {
-                    "buckets": hist.buckets,
-                    "counts": list(hist.counts),
-                    "count": hist.count, "total": hist.total,
-                    "min": hist.min_value, "max": hist.max_value,
-                }
-                continue
-            if merged["buckets"] != hist.buckets:
-                raise ValueError(
-                    f"histogram {name!r}: bucket bounds differ across runs")
-            merged["counts"] = [a + b for a, b in
-                                zip(merged["counts"], hist.counts)]
-            merged["count"] += hist.count
-            merged["total"] += hist.total
-            for key, pick in (("min", min), ("max", max)):
-                ours, theirs = merged[key], getattr(hist, f"{key}_value")
-                if ours is None:
-                    merged[key] = theirs
-                elif theirs is not None:
-                    merged[key] = pick(ours, theirs)
+            histograms.setdefault(name, []).append(hist)
     return RunReport(
         counters=counters,
         gauges={name: {"value": sum(vals) / len(vals),
                        "max": gauge_maxima[name]}
                 for name, vals in gauge_values.items()},
-        histograms={name: HistogramSnapshot(
-            buckets=m["buckets"], counts=tuple(m["counts"]),
-            count=m["count"], total=m["total"],
-            min_value=m["min"], max_value=m["max"])
-            for name, m in histograms.items()},
+        histograms={name: HistogramSnapshot.merge(snaps, name=name)
+                    for name, snaps in histograms.items()},
         meta={"runs": len(reports)})

@@ -52,6 +52,7 @@ __all__ = [
     "EUSpan",
     "ActivationSpan",
     "AdmissionEvent",
+    "AlertEvent",
     "SpanForest",
     "CpuSlice",
     "CriticalHop",
@@ -240,6 +241,19 @@ class AdmissionEvent:
 
 
 @dataclass
+class AlertEvent:
+    """One live-monitor alert transition (``alert raise`` / ``clear``)
+    or admission reconfiguration it triggered — a first-class causal
+    event in the forest."""
+    time: int
+    event: str                    # "raise" | "clear" | "reconfigure"
+    tenant: str
+    rule: str
+    node: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
 class CpuSlice:
     """One contiguous interval a thread held a CPU."""
     node: str
@@ -307,6 +321,9 @@ class SpanForest:
         #: arrivals offered to / released by admission control.
         self.admission_submits: int = 0
         self.admission_admits: int = 0
+        #: live-monitor alert transitions (and the reconfigurations
+        #: they triggered), in trace order.
+        self.alerts: List[AlertEvent] = []
 
     @property
     def has_admission(self) -> bool:
@@ -639,6 +656,25 @@ class _Builder:
     def _on_admission_degrade(self, time: int, d: dict) -> None:
         self._admission_event(time, "degrade", d)
 
+    def _alert_event(self, time: int, event: str, d: dict) -> None:
+        detail = {k: v for k, v in d.items()
+                  if k not in ("node", "tenant", "rule")}
+        self.forest.alerts.append(AlertEvent(
+            time, event, d.get("tenant", ""), d.get("rule", ""),
+            d.get("node"), detail))
+        if d.get("node"):
+            self._note_node(d["node"])
+
+    def _on_alert_raise(self, time: int, d: dict) -> None:
+        self._alert_event(time, "raise", d)
+
+    def _on_alert_clear(self, time: int, d: dict) -> None:
+        self._alert_event(time, "clear", d)
+
+    def _on_admission_reconfigure(self, time: int, d: dict) -> None:
+        self._alert_event(time, "reconfigure",
+                          {**d, "rule": d.get("trigger", "")})
+
     def _close_slice(self, node: str, time: int) -> None:
         open_slice = self._open_slice.pop(node, None)
         if open_slice is None:
@@ -688,6 +724,9 @@ class _Builder:
         ("admission", "forward_result"): _on_admission_forward_result,
         ("admission", "forward_timeout"): _on_admission_forward_timeout,
         ("admission", "degrade"): _on_admission_degrade,
+        ("admission", "reconfigure"): _on_admission_reconfigure,
+        ("alert", "raise"): _on_alert_raise,
+        ("alert", "clear"): _on_alert_clear,
     }
 
 

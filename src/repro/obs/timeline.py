@@ -11,8 +11,11 @@ Chrome trace-event JSON format:
 * **flow events** (``ph="s"`` / ``ph="f"``) connect the send and
   delivery of every remote HEUG precedence edge across processes,
 * **instant events** (``ph="i"``) mark deadline misses (global scope),
-  message drops, and admission-control reject/shed/skip/forward/
-  timeout/degrade decisions (process scope, on the deciding node).
+  message drops, admission-control reject/shed/skip/forward/
+  timeout/degrade decisions (process scope, on the deciding node),
+  and live-monitor alert raise/clear transitions plus the admission
+  reconfigurations they trigger (process scope, on the monitor's
+  home node).
 
 Timestamps are simulation microseconds, which is exactly the ``ts``
 unit the format expects — no scaling.
@@ -146,6 +149,16 @@ def build_timeline(source: Union[TraceSource, SpanForest]) -> dict:
                      else " denied")
         events.append({"ph": "i", "s": "p", "pid": pid, "tid": 0,
                        "ts": ev.time, "cat": "admission", "name": name})
+
+    for ev in forest.alerts:
+        pid = pids.get(ev.node, fallback_pid)
+        name = f"alert_{ev.event} {ev.tenant}/{ev.rule}"
+        burn = ev.detail.get("burn_fast_milli")
+        if burn is not None:
+            name += f" burn={burn / 1000:.2f}x"
+        # Process scope: an alert belongs to the monitor's home node.
+        events.append({"ph": "i", "s": "p", "pid": pid, "tid": 0,
+                       "ts": ev.time, "cat": "alert", "name": name})
 
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"],
                                _PH_ORDER.get(e["ph"], 9), e["name"],

@@ -95,6 +95,21 @@ class _TierSpec:
 
 
 @dataclass(frozen=True)
+class _MonitorSpec:
+    tenant: str
+    objective_ppm: int
+    interval: int
+    fast_window: int
+    slow_window: int
+    threshold_milli: int
+    clear_milli: Optional[int]
+    hold: int
+    react: Optional[Union[str, Callable[..., None]]]
+    on_clear: Optional[Union[str, Callable[..., None]]]
+    samples: bool
+
+
+@dataclass(frozen=True)
 class _TenantSpec:
     name: str
     rate: Optional[RateLike]
@@ -133,6 +148,12 @@ class ScenarioResult:
         """Admission controllers of this replica (serial state; under
         sharding consult the :attr:`scoreboard` instead)."""
         return list(getattr(self.system, "_scenario_controllers", ()))
+
+    @property
+    def monitors(self) -> List[Any]:
+        """Live monitors of this replica (serial state; under sharding
+        read the merged trace's ``monitor``/``alert`` records)."""
+        return list(getattr(self.system, "_scenario_monitors", ()))
 
     @property
     def completed(self) -> int:
@@ -191,6 +212,7 @@ class Scenario:
         self._seed = 0
         self._horizon: Optional[int] = None
         self._stagger: Optional[int] = None
+        self._monitors: List[_MonitorSpec] = []
 
     # -- declarations ------------------------------------------------------
 
@@ -306,6 +328,71 @@ class Scenario:
             "queue_capacity": queue_capacity,
             "w_adm": w_adm,
         }
+        return self
+
+    def monitor(self, tenant: str, *, interval: int,
+                objective_ppm: int = 990_000,
+                fast_window: Optional[int] = None,
+                slow_window: Optional[int] = None,
+                threshold_milli: int = 1000,
+                clear_milli: Optional[int] = None,
+                hold: int = 2,
+                react: Optional[Union[str, Callable[..., None]]] = None,
+                on_clear: Optional[Union[str,
+                                         Callable[..., None]]] = None,
+                samples: bool = True) -> "Scenario":
+        """Attach a live burn-rate monitor to one (declared) tenant.
+
+        A :class:`~repro.obs.live.LiveMonitor` is created on the
+        tenant's ingress node with an in-sim probe every ``interval``
+        µs (phase-locked to the tenant's cell when :meth:`stagger` is
+        active, keeping sharded runs byte-identical — under stagger,
+        ``interval`` must be a multiple of the quantum).  One burn-rate
+        rule named ``"burn"`` watches the ``objective_ppm`` SLO over
+        ``fast_window`` (default: ``interval``) and ``slow_window``
+        (default: ``5 * interval``), raising at ``threshold_milli``
+        (1000 = burning the error budget exactly at the sustainable
+        rate) and clearing with ``hold``-probe hysteresis below
+        ``clear_milli``.
+
+        ``react`` runs when the rule raises (once): ``"conservative"``
+        swaps the ingress controller's guarantee test to the
+        conservative :class:`~repro.admission.guarantee.
+        ResponseTimeTest`; ``"policy:<name>"`` switches its overload
+        policy; or pass any ``f(system, alert)`` callable (e.g.
+        :func:`~repro.obs.live.react_degrade`).  ``on_clear`` runs on
+        every clear: ``"restore"`` puts back the policy/test the
+        controller had when the monitor was wired, or a callable.
+        String reactions require :meth:`admission`.
+        """
+        if not any(t.name == tenant for t in self._tenants):
+            raise ValueError(f"monitor for undeclared tenant {tenant!r} "
+                             "(declare the tenant first)")
+        if any(m.tenant == tenant for m in self._monitors):
+            raise ValueError(f"duplicate monitor for tenant {tenant!r}")
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        for spec, label in ((react, "react"), (on_clear, "on_clear")):
+            if spec is None or callable(spec):
+                continue
+            if self._admission is None:
+                raise ValueError(f"string {label}= needs .admission()")
+            if label == "react":
+                if not (spec == "conservative"
+                        or spec.startswith("policy:")):
+                    raise ValueError(
+                        f"unknown react {spec!r} (expected "
+                        "'conservative', 'policy:<name>', or a "
+                        "callable)")
+            elif spec != "restore":
+                raise ValueError(f"unknown on_clear {spec!r} (expected "
+                                 "'restore' or a callable)")
+        self._monitors.append(_MonitorSpec(
+            tenant, objective_ppm, interval,
+            fast_window if fast_window is not None else interval,
+            slow_window if slow_window is not None else 5 * interval,
+            threshold_milli, clear_milli, hold, react, on_clear,
+            samples))
         return self
 
     # -- generic (paper-shaped) declarations --------------------------------
@@ -597,6 +684,79 @@ class Scenario:
                     when,
                     lambda c=controller, t=task, v=spec.value, w=wcet:
                     c.submit(t, v, wcet=w))
+        self._attach_monitors(system, plans, controllers)
+
+    def _attach_monitors(self, system: HadesSystem,
+                         plans: List[Tuple[_TenantSpec, str, Task,
+                                           List[int]]],
+                         controllers: Dict[str, AdmissionController],
+                         ) -> None:
+        """Wire one cell's live monitors (owned ingress nodes only)."""
+        if not self._monitors:
+            return
+        from repro.obs.live import (BurnRateRule, LiveMonitor, SloSpec,
+                                    react_reconfigure)
+        from repro.admission.guarantee import ResponseTimeTest
+        by_tenant = {spec.name: node for spec, node, _t, _times in plans}
+        index_of = {spec.name: i for i, spec in enumerate(self._tenants)}
+        for mon in self._monitors:
+            node = by_tenant.get(mon.tenant)
+            if node is None or not system.owns(node):
+                continue  # another cell, or a foreign shard replica
+            if self._stagger and mon.interval % self._stagger:
+                raise ValueError(
+                    f"monitor interval {mon.interval} must be a "
+                    f"multiple of the stagger quantum {self._stagger} "
+                    "(probes must tick on the cell's residue class)")
+            cell = index_of[mon.tenant] % self._cells
+            phase = (cell * (self._stagger // self._cells)
+                     if self._stagger else 0)
+            rule = BurnRateRule(
+                "burn", fast_window=mon.fast_window,
+                slow_window=mon.slow_window,
+                threshold_milli=mon.threshold_milli,
+                clear_milli=mon.clear_milli, hold=mon.hold)
+            live = LiveMonitor(
+                system, mon.tenant,
+                SloSpec(mon.objective_ppm, window=mon.slow_window),
+                [rule], interval=mon.interval, horizon=self._horizon,
+                phase=phase, node=node, samples=mon.samples)
+            controller = controllers.get(node)
+            for spec, register in ((mon.react, live.on_alert),
+                                   (mon.on_clear, live.on_clear)):
+                if spec is None:
+                    continue
+                if callable(spec):
+                    register(rule.name, spec)
+                    continue
+                if controller is None:
+                    raise ValueError(
+                        f"monitor {mon.tenant!r}: string reaction "
+                        f"{spec!r} needs an admission controller on "
+                        f"the ingress node")
+                if spec == "conservative":
+                    register(rule.name, react_reconfigure(
+                        [controller], test_factory=ResponseTimeTest))
+                elif spec == "restore":
+                    register(rule.name, self._restore_reaction(
+                        controller))
+                else:  # "policy:<name>", validated in monitor()
+                    register(rule.name, react_reconfigure(
+                        [controller], policy=spec.split(":", 1)[1]))
+            system._scenario_monitors.append(live)
+
+    @staticmethod
+    def _restore_reaction(controller: AdmissionController
+                          ) -> Callable[..., None]:
+        """Reaction putting back the policy/test the controller had
+        when the monitor was wired (the recover half)."""
+        policy, test = controller.policy, controller.test
+
+        def restore(_system, alert, c=controller, p=policy, t=test):
+            c.reconfigure(policy=p, test=t,
+                          trigger=f"alert_clear:{alert.rule}")
+
+        return restore
 
     def _build_into(self, system: HadesSystem) -> None:
         """The replayable scripted builder (deterministic and
@@ -610,6 +770,7 @@ class Scenario:
         """
         system._scenario_schedulers = []
         system._scenario_controllers = []
+        system._scenario_monitors = []
         if self._tenants and not self._tiers:
             raise ValueError("tenants declared without tiers")
         if self._tiers:

@@ -32,17 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+# One exact-quantile implementation tree-wide (re-exported here for
+# backward compatibility): the scoreboard, the live monitoring windows
+# and campaign report aggregation must agree on what "p99" means.
+from repro.obs.metrics import exact_quantile
+
 __all__ = ["TenantSLO", "Scoreboard", "exact_quantile"]
-
-
-def exact_quantile(sample: Sequence[int], q: float) -> Optional[int]:
-    """Nearest-rank quantile of a **sorted** sample (None if empty)."""
-    if not sample:
-        return None
-    if not 0.0 < q <= 1.0:
-        raise ValueError("q must be in (0, 1]")
-    rank = max(1, -(-int(len(sample) * q * 1_000_000) // 1_000_000))
-    return sample[min(rank, len(sample)) - 1]
 
 
 @dataclass(frozen=True)

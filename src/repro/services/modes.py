@@ -112,6 +112,22 @@ class ModeManager:
         for listener in self._switch_listeners:
             listener(switch)
 
+    def revert(self, trigger: str = "revert") -> None:
+        """Switch back to the mode active before the last switch.
+
+        The recover half of a detect→react→recover loop: a live
+        monitor degrades the mode when a burn-rate rule raises and
+        reverts when it clears.  A no-op when there is no previous
+        mode to return to (never switched, or the first switch came
+        from no mode at all).
+        """
+        if not self.switches:
+            return
+        previous = self.switches[-1].from_mode
+        if previous is None or previous == self.current:
+            return
+        self.switch_to(previous, trigger=trigger)
+
     # -- violation-driven policies ------------------------------------------------
 
     def on_violation(self, kind: ViolationKind, switch_to: str,

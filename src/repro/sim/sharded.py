@@ -41,19 +41,28 @@ Replicas and ownership
     cross-shard interleaving.
 
 Trace merging
-    Each worker streams its JSONL trace; the coordinator k-way merges
-    the streams on the ordering key ``(time, shard_rank,
-    local_sequence)`` into one globally ordered file, byte-identical
-    to the serial engine's export for partitionable scenarios.  The
-    serial engine dispatches same-instant events in global push order;
-    the merge key reproduces that order whenever no two shards record
-    at the same instant (within a shard, local sequence *is* push
-    order).  Scenarios whose cross-shard activity is phase-staggered —
-    the shape the 24-seed harness in
-    ``tests/test_sharded_determinism.py`` pins — satisfy this exactly;
-    scenarios with cross-shard same-instant records keep a valid total
-    order, just not necessarily the serial engine's intra-instant
-    interleaving.
+    Each worker streams its JSONL trace with every line prefixed by
+    the **global node rank** of the node the record is attributable to
+    (``"<rank>\\t<json>"`` — rank = position of the node in the
+    system's construction-order node list, resolved from the record's
+    ``node``/``eu``/``task``/``link`` details).  The coordinator runs
+    a head-based stable merge: it repeatedly pops the stream whose
+    *head* record has the smallest ``(time, node_rank, shard_rank)``
+    key and copies that line — tag stripped — verbatim.  Because only
+    stream heads are compared, intra-shard emission order is never
+    violated, and same-instant records from *different* shards come
+    out in node-rank order.  Construction-time records (time 0) are
+    emitted cell-major by scenario builders, i.e. grouped by ascending
+    node rank within each shard, so the merge reproduces the serial
+    engine's order even for **non-contiguous** cell partitions — the
+    serial engine dispatches same-instant events in global push order,
+    which at time 0 is exactly node-construction order.  Runtime
+    records never collide across shards under the residue-class
+    discipline the 24-seed harness in
+    ``tests/test_sharded_determinism.py`` pins; scenarios that do
+    collide keep a valid total order, just not necessarily the serial
+    engine's intra-instant interleaving.  Untagged files (older
+    exports) merge on the legacy ``(time, file_order, sequence)`` key.
 
 Surface: ``HadesSystem.run(shards=N)`` or ``run(partition=[[...],
 ...])``; :func:`auto_partition` is the default min-cut-ish partitioner
@@ -69,16 +78,19 @@ import heapq
 import json
 import os
 import tempfile
+import time as _wall
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from repro.faults.wire import decode_report, encode_report
 from repro.network.link import DeliveryOutcome
 from repro.sim.engine import SimulationError
+from repro.sim.trace import TraceRecord, _record_to_json
 
 __all__ = ["ShardRunResult", "auto_partition", "colocation_weights",
-           "merge_shard_traces", "run_sharded"]
+           "make_rank_resolver", "merge_shard_traces", "run_sharded"]
 
 #: Co-location weight added per task whose EUs span a node pair: far
 #: above any traffic weight, so the greedy partitioner merges those
@@ -106,6 +118,19 @@ class ShardRunResult:
     trace_path: Optional[str] = None
     #: Final simulated time (mirrors the serial run's ``sim.now``).
     sim_time: int = 0
+    #: Path of the per-barrier-window coordinator introspection sidecar
+    #: (``coordinator.jsonl``; ``None`` for single-shard runs).  One
+    #: JSON line per window: start/bound instants, shipped messages,
+    #: and per-shard stall/null/outbox figures.  Wall-clock stalls are
+    #: inherently nondeterministic, which is why this lives in a
+    #: sidecar and never in the merged trace.
+    coordinator_path: Optional[str] = None
+    #: Per-shard coordinator totals, in shard-rank order: dicts with
+    #: ``windows``, ``stall_us`` (wall-clock µs the coordinator spent
+    #: blocked on this shard's barrier replies), ``null_replies``
+    #: (windows where the shard shipped nothing — pure null messages),
+    #: ``messages_out`` and ``bytes_out`` (cross-shard traffic volume).
+    shard_stats: List[Dict[str, int]] = field(default_factory=list)
 
     def counter_totals(self) -> Dict[str, int]:
         """Every metric counter summed across shards.
@@ -232,40 +257,160 @@ def auto_partition(node_ids: Sequence[str], shards: int,
 
 
 # --------------------------------------------------------------------------
-# Trace merging
+# Node-rank attribution & trace merging
 # --------------------------------------------------------------------------
 
-def _keyed_lines(handle, rank: int) -> Iterator[Tuple[int, int, int, str]]:
-    prefix = '{"time": '
-    plen = len(prefix)
-    for seq, line in enumerate(handle):
-        if line.startswith(prefix):
-            try:
-                time = int(line[plen:line.index(",", plen)])
-            except ValueError:
-                time = json.loads(line)["time"]
+def make_rank_resolver(system) -> Callable[[TraceRecord], int]:
+    """Map a trace record to the global rank of the node it concerns.
+
+    The rank is the node's position in the system's construction-order
+    node list — identical in every shard replica (replicas build the
+    *whole* node set), so tags computed independently per worker agree
+    globally.  Resolution order: an explicit ``node`` detail, the link
+    endpoint this shard owns (``send``/``drop`` → source, deliveries →
+    destination), then the task named by ``eu`` / ``activation_id`` /
+    ``task`` (tasks never span shards, so the task's minimum node rank
+    stays inside the right shard), finally the shard's lowest owned
+    rank (process-global records like mode switches).
+    """
+    rank: Dict[str, int] = {nid: i for i, nid in enumerate(system.nodes)}
+    if system.owned_nodes:
+        fallback = min(rank[nid] for nid in system.owned_nodes)
+    else:
+        fallback = 0
+    known = system.dispatcher.known_tasks
+    task_cache: Dict[str, int] = {}
+
+    def task_rank(name: str) -> int:
+        cached = task_cache.get(name)
+        if cached is not None:
+            return cached
+        task = known.get(name)
+        resolved = fallback
+        if task is not None:
+            ranks = [rank[node] for node in
+                     {task.node_of(eu) for eu in task.eus}
+                     if node in rank]
+            if ranks:
+                resolved = min(ranks)
+        task_cache[name] = resolved
+        return resolved
+
+    def resolve(entry: TraceRecord) -> int:
+        details = entry.details
+        node = details.get("node")
+        if node is not None:
+            found = rank.get(node)
+            if found is not None:
+                return found
+        link = details.get("link")
+        if link is not None:
+            src, _, dst = str(link).partition("->")
+            found = rank.get(src if entry.event in ("send", "drop")
+                             else dst)
+            if found is not None:
+                return found
+        eu = details.get("eu")
+        if eu:
+            return task_rank(str(eu).partition("#")[0])
+        activation_id = details.get("activation_id")
+        if activation_id:
+            return task_rank(str(activation_id).partition("#")[0])
+        task = details.get("task")
+        if task:
+            return task_rank(str(task))
+        return fallback
+
+    return resolve
+
+
+class _TaggedTraceStream:
+    """Streams rank-tagged JSONL (``"<rank>\\t<json>"``) to a file.
+
+    The worker-side counterpart of :func:`merge_shard_traces`: the tag
+    lets the coordinator order same-instant records from different
+    shards by global node rank instead of by shard rank, which is what
+    makes non-contiguous partitions byte-identical to serial runs.
+    """
+
+    def __init__(self, system, path: str):
+        self._resolve = make_rank_resolver(system)
+        self._handle = open(path, "w")
+        self._tracer = system.tracer
+        self._tracer.subscribe(self._on_record)
+
+    def _on_record(self, entry: TraceRecord) -> None:
+        self._handle.write(f"{self._resolve(entry)}\t"
+                           f"{_record_to_json(entry)}\n")
+
+    def close(self) -> None:
+        self._tracer.unsubscribe(self._on_record)
+        self._handle.close()
+
+
+_TIME_PREFIX = '{"time": '
+
+
+def _parse_time(payload: str) -> int:
+    plen = len(_TIME_PREFIX)
+    if payload.startswith(_TIME_PREFIX):
+        try:
+            return int(payload[plen:payload.index(",", plen)])
+        except ValueError:
+            pass
+    return json.loads(payload)["time"]
+
+
+def _tagged_entries(handle, fallback_rank: int,
+                    ) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(time, node_rank, json_line)`` from one shard stream.
+
+    Tagged lines (``"<rank>\\t<json>"``) carry their own node rank;
+    untagged lines — legacy per-shard exports — fall back to the
+    stream's file order, reproducing the historical ``(time,
+    shard_rank, sequence)`` merge key.
+    """
+    for line in handle:
+        tag, sep, payload = line.partition("\t")
+        if sep and tag.isdigit():
+            yield (_parse_time(payload), int(tag), payload)
         else:
-            time = json.loads(line)["time"]
-        yield (time, rank, seq, line)
+            yield (_parse_time(line), fallback_rank, line)
 
 
 def merge_shard_traces(paths: Sequence[str], out_path: str) -> int:
-    """K-way merge per-shard JSONL traces into one global trace.
+    """Merge per-shard JSONL traces into one global, untagged trace.
 
-    Ordering key: ``(time, shard_rank, local_sequence)`` — within a
-    shard the stream is already in dispatch (= push) order, so the
-    merge is stable per shard and globally time-ordered.  Lines are
-    copied verbatim (byte-identical to what each worker wrote).
-    Returns the number of records written.
+    Head-based stable merge: a heap tracks each stream's *head* record
+    under the key ``(time, node_rank, shard_rank)``; the minimum head
+    is copied (tag stripped) and its stream advanced.  Comparing only
+    heads preserves each shard's emission order unconditionally, while
+    same-instant records from different shards interleave by global
+    node rank — the serial engine's order for construction-time
+    records even under non-contiguous partitions (see the module
+    docstring).  Output lines are byte-identical to a serial
+    ``Tracer.to_jsonl`` export.  Returns the number of records written.
     """
     written = 0
     with ExitStack() as stack:
         out = stack.enter_context(open(out_path, "w"))
-        streams = [_keyed_lines(stack.enter_context(open(path)), rank)
+        streams = [_tagged_entries(stack.enter_context(open(path)), rank)
                    for rank, path in enumerate(paths)]
-        for _time, _rank, _seq, line in heapq.merge(*streams):
+        heap: List[Tuple[int, int, int, str]] = []
+        for rank, stream in enumerate(streams):
+            head = next(stream, None)
+            if head is not None:
+                time, node_rank, line = head
+                heap.append((time, node_rank, rank, line))
+        heapq.heapify(heap)
+        while heap:
+            _time, _node_rank, rank, line = heapq.heappop(heap)
             out.write(line)
             written += 1
+            head = next(streams[rank], None)
+            if head is not None:
+                time, node_rank, line = head
+                heapq.heappush(heap, (time, node_rank, rank, line))
     return written
 
 
@@ -293,7 +438,7 @@ def _worker_main(conn, rank: int, owned: List[str], builder,
 
     try:
         system = HadesSystem(owned_nodes=owned, **kwargs)
-        stream = system.tracer.stream_jsonl(trace_path)
+        stream = _TaggedTraceStream(system, trace_path)
         builder(system)
         conn.send(("ready", system.sim.next_event_time()))
         while True:
@@ -427,6 +572,8 @@ def run_sharded(system, until: Optional[int] = None,
         os.makedirs(trace_dir, exist_ok=True)
     shard_paths = [os.path.join(trace_dir, f"shard{rank}.jsonl")
                    for rank in range(len(plan))]
+    coordinator_path = os.path.join(trace_dir, "coordinator.jsonl")
+    coordinator_log = open(coordinator_path, "w")
 
     conns, procs = [], []
     try:
@@ -461,6 +608,15 @@ def run_sharded(system, until: Optional[int] = None,
         inbox: List[List[Tuple[Any, int, str]]] = [[] for _ in plan]
         windows = 0
         shipped = 0
+        # Per-barrier-window introspection: where does sharded
+        # wall-clock go?  ``stall_us`` is the wall time the coordinator
+        # spent blocked on each shard's barrier reply (replies are
+        # collected in rank order, so each shard is charged only the
+        # wait *beyond* the previous reply); a ``null`` reply shipped
+        # no cross-shard messages — the shard's earliest-output report
+        # acted as a pure null message.
+        shard_stats = [{"windows": 0, "stall_us": 0, "null_replies": 0,
+                        "messages_out": 0, "bytes_out": 0} for _ in plan]
         while True:
             earliest: Optional[int] = None
             for rank in range(len(plan)):
@@ -480,13 +636,36 @@ def run_sharded(system, until: Optional[int] = None,
             for rank in range(len(plan)):
                 conns[rank].send(("advance", bound, inbox[rank]))
                 inbox[rank] = []
+            window_rows = []
+            window_shipped = 0
+            last_reply = _wall.perf_counter()
             for rank in range(len(plan)):
                 _tag, next_time, outbox = receive(rank)
+                now_wall = _wall.perf_counter()
+                stall_us = int((now_wall - last_reply) * 1_000_000)
+                last_reply = now_wall
                 worker_next[rank] = next_time
+                bytes_out = 0
                 for message, deliver_at, outcome_value in outbox:
                     inbox[owner[message.dst]].append(
                         (message, deliver_at, outcome_value))
                     shipped += 1
+                    window_shipped += 1
+                    bytes_out += getattr(message, "size", 0) or 0
+                stats = shard_stats[rank]
+                stats["windows"] += 1
+                stats["stall_us"] += stall_us
+                stats["messages_out"] += len(outbox)
+                stats["bytes_out"] += bytes_out
+                if not outbox:
+                    stats["null_replies"] += 1
+                window_rows.append({"rank": rank, "next": next_time,
+                                    "out": len(outbox),
+                                    "bytes": bytes_out,
+                                    "stall_us": stall_us})
+            coordinator_log.write(json.dumps(
+                {"window": windows, "start": earliest, "bound": bound,
+                 "shipped": window_shipped, "shards": window_rows}) + "\n")
             windows += 1
 
         if until is not None:
@@ -511,6 +690,7 @@ def run_sharded(system, until: Optional[int] = None,
         for proc in procs:
             proc.join(timeout=30)
     finally:
+        coordinator_log.close()
         for conn in conns:
             conn.close()
         for proc in procs:
@@ -533,6 +713,8 @@ def run_sharded(system, until: Optional[int] = None,
     result = ShardRunResult(partition=plan, lookahead=lookahead,
                             windows=windows, messages=shipped,
                             reports=reports, trace_path=merged_path,
-                            sim_time=final_time)
+                            sim_time=final_time,
+                            coordinator_path=coordinator_path,
+                            shard_stats=shard_stats)
     assert record_count == len(tracer) or tracer.maxlen is not None
     return result

@@ -1,0 +1,509 @@
+"""Live monitoring plane: time-series primitives, burn-rate window
+edges (raise/clear exactly at threshold, hysteresis straddling a mode
+switch, zero-traffic tenants), closed-loop reactions, live-monitor vs
+post-hoc scoreboard agreement, and the spans/forensics/timeline/CLI
+wiring of the ``alert`` category."""
+
+import json
+
+import pytest
+
+from repro import (EDFScheduler, HadesSystem, ResponseTimeTest, Scenario,
+                   UtilizationTest)
+from repro.core.attributes import Aperiodic
+from repro.core.heug import Task
+from repro.obs.live import (Alert, BurnRateRule, Ewma, LiveMonitor,
+                            RollingCounter, SloSpec, TumblingHistogram,
+                            react_degrade, react_revert,
+                            render_coordinator, render_dashboard)
+from repro.obs.metrics import DEFAULT_BUCKETS, HistogramSnapshot
+from repro.services.modes import ModeManager
+
+
+# ---------------------------------------------------------------------------
+# Time-series primitives
+# ---------------------------------------------------------------------------
+
+class TestRollingCounter:
+    def test_windowed_totals(self):
+        counter = RollingCounter(max_window=100, quantum=10)
+        counter.add(5)
+        counter.add(15, 2)
+        counter.add(95)
+        assert counter.total(100) == 4
+        assert counter.total(100, window=10) == 1   # only t=95's bin
+        assert counter.total(200) == 0              # all outside [100,200)
+        assert counter.cumulative == 4
+
+    def test_phase_aligned_bins(self):
+        # Bins at phase=30 (mod 100): [30, 130) holds t in 30..129.
+        counter = RollingCounter(max_window=100, quantum=100, phase=30)
+        counter.add(29)
+        counter.add(30)
+        counter.add(129)
+        # queries must be non-decreasing in `now` (probe discipline)
+        assert counter.total(30, window=100) == 1   # only t=29's bin
+        assert counter.total(130, window=100) == 2
+
+    def test_window_exceeds_retention(self):
+        counter = RollingCounter(max_window=50)
+        with pytest.raises(ValueError):
+            counter.total(100, window=60)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingCounter(0)
+        with pytest.raises(ValueError):
+            RollingCounter(10, quantum=0)
+
+
+class TestEwma:
+    def test_integer_fixed_point(self):
+        ewma = Ewma(num=1, den=4, scale=1000)
+        assert ewma.update(100) == 100_000   # first sample: exact
+        # (1*200*1000 + 3*100000) // 4 = 125000
+        assert ewma.update(200) == 125_000
+        assert ewma.samples == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(num=0)
+        with pytest.raises(ValueError):
+            Ewma(num=5, den=4)
+
+
+class TestTumblingHistogram:
+    def test_roll_and_merge(self):
+        hist = TumblingHistogram(buckets=(10, 100))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        summary = hist.roll()
+        assert summary["n"] == 3
+        assert summary["p50"] == 50
+        assert summary["max"] == 500
+        hist.observe(7)
+        hist.roll()
+        merged = hist.merged()
+        assert merged.count == 4
+        assert merged.counts == (2, 1, 1)
+        assert merged.min_value == 5 and merged.max_value == 500
+
+    def test_empty_roll(self):
+        hist = TumblingHistogram()
+        summary = hist.roll()
+        assert summary == {"n": 0, "p50": None, "p99": None, "max": None}
+        assert hist.merged().count == 0
+
+    def test_merged_uses_shared_path(self):
+        # The merge must be HistogramSnapshot.merge — same bucket
+        # bounds everywhere, ValueError on mismatch.
+        a = TumblingHistogram(buckets=(10,))
+        a.observe(1)
+        a.roll()
+        b = TumblingHistogram(buckets=(20,))
+        b.observe(1)
+        b.roll()
+        with pytest.raises(ValueError):
+            HistogramSnapshot.merge(a.windows + b.windows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TumblingHistogram(buckets=())
+        with pytest.raises(ValueError):
+            TumblingHistogram(buckets=(100, 10))
+
+
+class TestSpecs:
+    def test_slo_spec(self):
+        slo = SloSpec(990_000, window=1_000_000)
+        assert slo.budget_ppm == 10_000
+        with pytest.raises(ValueError):
+            SloSpec(0, window=100)
+        with pytest.raises(ValueError):
+            SloSpec(1_000_000, window=100)
+
+    def test_rule_defaults_and_validation(self):
+        rule = BurnRateRule("r", fast_window=10, slow_window=50)
+        assert rule.clear_milli == rule.threshold_milli
+        with pytest.raises(ValueError):
+            BurnRateRule("r", fast_window=50, slow_window=10)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", fast_window=1, slow_window=1, hold=0)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", fast_window=1, slow_window=1,
+                         threshold_milli=100, clear_milli=200)
+
+
+# ---------------------------------------------------------------------------
+# Burn-rate window edges on a hand-built system
+# ---------------------------------------------------------------------------
+
+def _tiny_system():
+    system = HadesSystem(node_ids=["n0"])
+    system.attach_scheduler(EDFScheduler(scope="n0"))
+    return system
+
+
+def _request_task(name="req", wcet=100, deadline=10_000):
+    task = Task(name, deadline=deadline, arrival=Aperiodic())
+    task.code_eu("run", wcet=wcet, node_id="n0")
+    return task.validate()
+
+
+def _emit_good(system, seq, time, task="req", response=50):
+    """Schedule one synthetic satisfied request (activate + in-time
+    instance_done records with the dispatcher's exact shapes)."""
+    aid = f"{task}#{seq}"
+
+    def emit():
+        system.tracer.record("dispatcher", "activate", task=task,
+                             seq=seq, activation_id=aid, deadline=None)
+        system.tracer.record("dispatcher", "instance_done", task=task,
+                             seq=seq, activation_id=aid,
+                             response=response, missed=False)
+
+    system.sim.call_at(time, emit)
+
+
+def _emit_reject(system, time, task="req"):
+    system.sim.call_at(time, lambda: system.tracer.record(
+        "admission", "reject", node="n0", task=task, value=1))
+
+
+class TestBurnRateEdges:
+    def _monitor(self, system, **kwargs):
+        defaults = dict(
+            slo=SloSpec(900_000, window=10_000),  # 10% error budget
+            rules=[BurnRateRule("burn", fast_window=1_000,
+                                slow_window=1_000, hold=2)],
+            interval=1_000, horizon=10_000, node="n0")
+        defaults.update(kwargs)
+        return LiveMonitor(system, "req", **defaults)
+
+    def test_raise_exactly_at_threshold(self):
+        # budget 10%: 1 bad of 10 is a burn of exactly 1.0x — with
+        # threshold_milli=1000 that must raise (>=, not >).
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        for k in range(9):
+            _emit_good(system, k, 100 + k)
+        _emit_reject(system, 500)  # 1 bad among 10 outcomes
+        system.run(until=2_000)
+        raised = [a for a in monitor.alerts if a.kind == "raise"]
+        assert len(raised) == 1
+        assert raised[0].time == 1_000
+        assert raised[0].burn_fast_milli == 1000  # exactly 1.0x
+        assert monitor.active_alerts() == ["burn"]
+
+    def test_one_below_threshold_stays_quiet(self):
+        # 1 bad of 11 burns at 10/11 < 1.0x: no alert.
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        for k in range(10):
+            _emit_good(system, k, 100 + k)
+        _emit_reject(system, 500)
+        system.run(until=2_000)
+        assert monitor.alerts == []
+
+    def test_clear_needs_hold_probes(self):
+        # Raise in window 1; traffic healthy after.  clear_milli ==
+        # threshold, hold=2: the clear lands exactly 2 probes after the
+        # first all-good window.
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        _emit_reject(system, 100)
+        for k in range(20):
+            _emit_good(system, k, 1_100 + 100 * k)
+        system.run(until=6_000)
+        kinds = [(a.kind, a.time) for a in monitor.alerts]
+        assert kinds[0] == ("raise", 1_000)
+        # the bad bin [0,1000) leaves the window at probe 2000; the
+        # below-count reaches hold=2 at probe 3000.
+        assert kinds[1] == ("clear", 3_000)
+        assert monitor.active_alerts() == []
+
+    def test_zero_traffic_is_zero_burn(self):
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        system.run(until=5_000)
+        assert monitor.alerts == []
+        assert monitor.counts() == {"submitted": 0, "admitted": 0,
+                                    "good": 0, "bad": 0}
+        samples = [r for r in system.tracer.records
+                   if r.category == "monitor"]
+        assert len(samples) == 5  # probes at 1000..5000 (<= horizon)
+        assert all(r.details["good"] == 0 and r.details["bad"] == 0
+                   for r in samples)
+
+    def test_hysteresis_straddles_mode_switch(self):
+        # The alert raises, degrades the mode, and the clear (held
+        # across the switch) reverts it — detect -> react -> recover.
+        system = _tiny_system()
+        manager = ModeManager(system.dispatcher, abort_outgoing=False)
+        manager.define("nominal")
+        manager.define("degraded")
+        manager.switch_to("nominal", trigger="boot")
+        monitor = self._monitor(system)
+        monitor.on_alert("burn", react_degrade(manager, "degraded"))
+        monitor.on_clear("burn", react_revert(manager))
+        _emit_reject(system, 100)
+        for k in range(30):
+            _emit_good(system, k, 1_100 + 100 * k)
+        system.run(until=8_000)
+        kinds = [a.kind for a in monitor.alerts]
+        assert kinds == ["raise", "clear"]
+        assert [(s.to_mode, s.trigger) for s in manager.switches] == [
+            ("nominal", "boot"),
+            ("degraded", "alert:burn"),
+            ("nominal", "alert_clear:burn"),
+        ]
+        assert manager.current == "nominal"
+
+    def test_on_alert_once_semantics(self):
+        # once=True (default): a re-raise after a clear does not rerun
+        # the reaction.
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        fired = []
+        monitor.on_alert("burn", lambda sys_, alert: fired.append(alert))
+        for when in (100, 4_500):  # two separate bad bursts
+            _emit_reject(system, when)
+        for k in range(25):
+            _emit_good(system, k, 1_100 + 100 * k)
+        system.run(until=9_000)
+        kinds = [a.kind for a in monitor.alerts]
+        assert kinds.count("raise") == 2
+        assert len(fired) == 1 and isinstance(fired[0], Alert)
+
+    def test_shed_victim_not_double_counted(self):
+        # A shed record alone must not count as bad: the victim's
+        # instance_abort is the single bad event.
+        system = _tiny_system()
+        monitor = self._monitor(system)
+        task = _request_task()
+
+        def shed_one():
+            instance = system.dispatcher.activate(task)
+            system.tracer.record("admission", "shed", node="n0",
+                                 task="req", value=1, for_task="other")
+            system.dispatcher.abort_instance(instance, reason="shed")
+
+        system.sim.call_at(100, shed_one)
+        system.run(until=2_000)
+        assert monitor.counts()["bad"] == 1
+
+    def test_validation(self):
+        system = _tiny_system()
+        with pytest.raises(ValueError):
+            self._monitor(system, rules=[])
+        with pytest.raises(ValueError):
+            self._monitor(system, interval=0)
+        rules = [BurnRateRule("a", fast_window=1_000, slow_window=1_000),
+                 BurnRateRule("a", fast_window=1_000, slow_window=1_000)]
+        with pytest.raises(ValueError):
+            self._monitor(system, rules=rules)
+        monitor = self._monitor(system)
+        with pytest.raises(ValueError):
+            monitor.on_alert("nope", lambda s, a: None)
+
+
+# ---------------------------------------------------------------------------
+# Scenario integration: live monitor vs post-hoc scoreboard
+# ---------------------------------------------------------------------------
+
+def _overloaded(react=None, monitor=True):
+    sc = (Scenario()
+          .tier("edge", replicas=1, wcet=300)
+          .tier("svc", fan_out=2, wcet=400)
+          .cells(2)
+          .tenant("gold", rate=600, mk=(9, 10), value=5, deadline=3_000)
+          .tenant("bronze", rate=900, deadline=3_000)
+          .admission("reject", test=UtilizationTest(8.0))
+          .load(3.0)
+          .stagger(100))
+    if monitor:
+        sc.monitor("gold", interval=20_000, objective_ppm=990_000,
+                   react=react)
+    return sc
+
+
+class TestScenarioMonitor:
+    def test_live_agrees_with_scoreboard(self):
+        # No reaction: the monitor's cumulative classification must
+        # agree with the post-hoc scoreboard on the identical trace.
+        result = _overloaded().run(until=300_000, seed=7)
+        monitor = result.monitors[0]
+        row = result.tenant("gold")
+        counts = monitor.counts()
+        assert counts["submitted"] == row["submitted"]
+        assert counts["admitted"] == row["admitted"]
+        # bad = rejected + skipped + missed; good = in-time completions
+        assert counts["bad"] == (row["rejected"] + row["skipped"]
+                                 + row["missed"])
+        assert counts["good"] == row["completed"] - sum(
+            1 for a in result.system.tracer.records
+            if a.category == "dispatcher" and a.event == "instance_done"
+            and a.details.get("task") == "gold" and a.details["missed"])
+
+    def test_reaction_stops_admitted_misses(self):
+        result = _overloaded(react="conservative").run(until=400_000,
+                                                       seed=7)
+        monitor = result.monitors[0]
+        raised = [a for a in monitor.alerts if a.kind == "raise"]
+        assert raised, "3x overload must raise the burn alert"
+        raise_time = raised[0].time
+        reconf = [r for r in result.system.tracer.records
+                  if r.category == "admission"
+                  and r.event == "reconfigure"]
+        assert [r.details["to_test"] for r in reconf] == ["response-time"]
+        assert reconf[0].time == raise_time
+        # Zero misses among work *admitted after* the reaction fired
+        # (backlog admitted under the optimistic test may still miss).
+        admitted_after = {
+            r.details["activation_id"]
+            for r in result.system.tracer.records
+            if r.category == "dispatcher" and r.event == "activate"
+            and r.details.get("task") == "gold" and r.time > raise_time}
+        assert admitted_after, "traffic must continue past the reaction"
+        late_misses = [
+            r for r in result.system.tracer.records
+            if r.category == "dispatcher" and r.event == "deadline_miss"
+            and r.details.get("activation_id") in admitted_after]
+        assert late_misses == []
+
+    def test_sharded_monitor_rehydrates_from_merged_trace(self):
+        # Under shards=N the probes fire in the worker that owns the
+        # tenant's cell; the parent's monitor object must rebuild its
+        # alert log and counters from the merged-trace replay so
+        # ``result.monitors[i]`` reads the same at any shard count.
+        serial = _overloaded().run(until=300_000, seed=7)
+        sharded = _overloaded().run(until=300_000, seed=7, shards=2)
+        a, b = serial.monitors[0], sharded.monitors[0]
+        assert a.alerts, "3x overload must raise the burn alert"
+        assert a.alerts == b.alerts
+        assert a.counts() == b.counts()
+        assert a.active_alerts() == b.active_alerts()
+
+    def test_monitor_validation(self):
+        with pytest.raises(ValueError, match="undeclared tenant"):
+            Scenario().monitor("ghost", interval=100)
+        sc = Scenario().tier("edge").tenant("t", rate=10)
+        with pytest.raises(ValueError, match="needs .admission"):
+            sc.monitor("t", interval=100, react="conservative")
+        sc.admission("reject")
+        with pytest.raises(ValueError, match="unknown react"):
+            sc.monitor("t", interval=100, react="explode")
+        with pytest.raises(ValueError, match="unknown on_clear"):
+            sc.monitor("t", interval=100, on_clear="explode")
+        sc.monitor("t", interval=100)
+        with pytest.raises(ValueError, match="duplicate monitor"):
+            sc.monitor("t", interval=100)
+        # stagger quantum must divide the probe interval
+        bad = (Scenario().tier("edge").tenant("t", rate=10)
+               .stagger(64).monitor("t", interval=100))
+        with pytest.raises(ValueError, match="residue class"):
+            bad.run(until=10_000)
+
+
+# ---------------------------------------------------------------------------
+# Reconfigure / revert hooks
+# ---------------------------------------------------------------------------
+
+class TestHooks:
+    def test_reconfigure_validates_and_traces(self):
+        from repro.admission.controller import AdmissionController
+        system = _tiny_system()
+        controller = AdmissionController(system.dispatcher, "n0",
+                                         test=UtilizationTest(8.0))
+        with pytest.raises(ValueError):
+            controller.reconfigure(policy="bogus")
+        with pytest.raises(ValueError):
+            controller.reconfigure(policy="mk_firm")   # needs mk
+        controller.reconfigure()                        # no-op, no record
+        controller.reconfigure(policy="reject")         # same: no record
+        controller.reconfigure(policy="shed",
+                               test=ResponseTimeTest(),
+                               trigger="alert:burn")
+        records = [r for r in system.tracer.records
+                   if r.event == "reconfigure"]
+        assert len(records) == 1
+        assert records[0].details == {
+            "node": "n0", "trigger": "alert:burn",
+            "from_policy": "reject", "to_policy": "shed",
+            "from_test": "utilization", "to_test": "response-time"}
+        assert controller.policy == "shed"
+
+    def test_mode_revert(self):
+        system = _tiny_system()
+        manager = ModeManager(system.dispatcher)
+        manager.define("nominal")
+        manager.define("degraded")
+        manager.revert()                    # nothing to revert: no-op
+        manager.switch_to("nominal")
+        manager.revert()                    # from_mode None: no-op
+        assert manager.current == "nominal"
+        manager.switch_to("degraded", trigger="alert:burn")
+        manager.revert(trigger="alert_clear:burn")
+        assert manager.current == "nominal"
+        assert manager.switches[-1].trigger == "alert_clear:burn"
+
+
+# ---------------------------------------------------------------------------
+# Observability wiring: spans, forensics, timeline, dashboard
+# ---------------------------------------------------------------------------
+
+class TestAlertWiring:
+    def test_spans_timeline_forensics(self, tmp_path):
+        from repro.obs import (build_timeline, forensics_report,
+                               reconstruct)
+        result = _overloaded(react="conservative").run(until=300_000,
+                                                       seed=7)
+        forest = reconstruct(result.system.tracer)
+        kinds = [e.event for e in forest.alerts]
+        assert "raise" in kinds and "reconfigure" in kinds
+        raise_event = next(e for e in forest.alerts if e.event == "raise")
+        assert raise_event.tenant == "gold" and raise_event.rule == "burn"
+        assert raise_event.node == "c0.edge0"
+        doc = build_timeline(forest)
+        names = [e["name"] for e in doc["traceEvents"]
+                 if e.get("cat") == "alert"]
+        assert any(n.startswith("alert_raise gold/burn") for n in names)
+        report = forensics_report(result.system.tracer, forest=forest)
+        assert "alerts:" in report and "gold/burn" in report
+
+    def test_dashboard_renders(self, tmp_path):
+        result = _overloaded(react="conservative").run(until=300_000,
+                                                       seed=7)
+        trace = tmp_path / "trace.jsonl"
+        result.system.tracer.to_jsonl(str(trace))
+        text = render_dashboard(str(trace))
+        assert "tenant gold" in text
+        assert "RAISE" in text
+        gold_only = render_dashboard(str(trace), tenant="gold")
+        assert "tenant gold" in gold_only
+        empty = render_dashboard(str(trace), tenant="ghost")
+        assert "no monitor/alert records" in empty
+
+    def test_dashboard_cli(self, tmp_path, capsys):
+        from repro.obs.live import main
+        result = _overloaded().run(until=200_000, seed=7)
+        trace = tmp_path / "trace.jsonl"
+        result.system.tracer.to_jsonl(str(trace))
+        assert main([str(trace), "--tenant", "gold"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant gold" in out
+
+    def test_coordinator_dashboard(self, tmp_path, capsys):
+        from repro.obs.live import main
+        result = _overloaded().run(until=100_000, seed=7, shards=2)
+        sidecar = result.shard_result.coordinator_path
+        assert sidecar is not None
+        text = render_coordinator(sidecar)
+        assert "barrier window" in text
+        assert "stall_ms" in text
+        assert main(["--coordinator", sidecar]) == 0
+        assert "coordinator:" in capsys.readouterr().out
+        # per-shard stats mirror the sidecar
+        stats = result.shard_result.shard_stats
+        assert len(stats) == 2
+        assert all(s["windows"] >= 1 for s in stats)
