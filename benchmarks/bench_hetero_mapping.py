@@ -1,0 +1,411 @@
+"""Experiment E24 — heterogeneous engines: mapping quality, determinism.
+
+Three gates over :mod:`repro.hetero` (engine pools, multi-version EUs
+and the EU-to-engine mapping layer):
+
+1. **Mapping quality** — an inference-serving request graph (ingress
+   -> 4 multi-version model shards -> reply) on a node with two
+   non-preemptive GPU units is simulated three ways: every shard on
+   the CPU, shards mapped by the :func:`repro.auto_map` load-balance +
+   critical-path heuristic, and the oracle-best assignment found by
+   exhaustive :func:`repro.enumerate_assignments` search.  The gate:
+   the heuristic beats cpu-only by at least :data:`SPEEDUP_FLOOR` (2x)
+   while staying within :data:`ORACLE_SLACK` (10%) of the oracle.
+   Response times are exact microsecond figures and are compared
+   **exactly** against the committed baseline.
+2. **Engine-trace determinism** — an engines-enabled, stagger-
+   quantized :class:`repro.Scenario` (two cells, a GPU-backed infer
+   tier, every duration on the mod-50 residue grid) is run serially
+   and sharded on **both** event-set backends; the merged trace —
+   engine-tagged ``cpu`` and ``dispatcher`` records included — must be
+   byte-identical to the serial run, and the engine-record stream's
+   SHA-256 must reproduce the baseline exactly.
+3. **Mapped-scenario throughput** — wall-clock requests/sec of the
+   hetero scenario, compared baseline-relative after the same
+   in-process calibration normalization the E17/E21/E22/E23 gates use.
+
+CLI::
+
+    python benchmarks/bench_hetero_mapping.py --write   # re-baseline
+    python benchmarks/bench_hetero_mapping.py --check   # regression gate
+    python benchmarks/bench_hetero_mapping.py --smoke   # CI-sized run
+"""
+
+import gc
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_engine.json")
+
+#: Key of this experiment's section inside BENCH_engine.json (the rest
+#: of the file belongs to the E17/E20/E21/E22/E23 gates).
+SECTION = "e24_hetero_mapping"
+
+SEED = 3
+HORIZON = 200_000
+REPEATS = 3
+
+#: The auto_map heuristic must beat cpu-only by at least this factor.
+SPEEDUP_FLOOR = 2.0
+
+#: ... while staying within this fraction of the oracle-best mapping.
+ORACLE_SLACK = 0.10
+
+#: Fractional drop of calibration-normalized scenario throughput that
+#: fails the gate (quality/determinism figures are compared exactly).
+#: Wider than the E23 gate: the hetero scenario is short enough that
+#: per-run wall-clock noise dominates, and the exact quality and
+#: digest comparisons above carry the semantic regression load.
+REGRESSION_TOLERANCE = 0.5
+
+SHARD_UNITS = 4
+CPU_WCET = 8_000
+GPU_WCET = 900
+PLATFORM = {"serve0": {"gpu": 2}}
+
+
+# -- gate 1: mapping quality ---------------------------------------------------
+
+
+def build_request():
+    """ingress -> 4 multi-version model shards -> reply."""
+    from repro import Task
+
+    task = Task("inference", deadline=1_000_000, node_id="serve0")
+    ingress = task.code_eu("ingress", wcet=200)
+    reply = task.code_eu("reply", wcet=200)
+    for i in range(SHARD_UNITS):
+        shard = task.code_eu(f"shard{i}", wcet=CPU_WCET,
+                             variants={"gpu": GPU_WCET})
+        task.precede(ingress, shard)
+        task.precede(shard, reply)
+    return task.validate()
+
+
+def _simulate(task):
+    from repro import DispatcherCosts, HadesSystem
+
+    system = HadesSystem(node_ids=["serve0"],
+                         costs=DispatcherCosts.zero(),
+                         engines=PLATFORM)
+    instance = system.activate(task)
+    system.run()
+    return instance.response_time
+
+
+def quality_check():
+    """cpu-only vs heuristic vs exhaustive-oracle response times."""
+    from repro import apply_assignment, auto_map, enumerate_assignments
+
+    cpu_response = _simulate(build_request())
+
+    mapped_task = build_request()
+    assignment = auto_map(mapped_task, PLATFORM)
+    mapped_response = _simulate(mapped_task)
+
+    oracle_response = None
+    combos = 0
+    for candidate in enumerate_assignments(build_request(), PLATFORM):
+        combos += 1
+        task = build_request()
+        apply_assignment(task, candidate)
+        response = _simulate(task)
+        if oracle_response is None or response < oracle_response:
+            oracle_response = response
+
+    speedup = cpu_response / mapped_response
+    oracle_ratio = mapped_response / oracle_response
+    assert speedup >= SPEEDUP_FLOOR, \
+        (f"auto_map speedup {speedup:.2f}x below the "
+         f"{SPEEDUP_FLOOR:.0f}x floor")
+    assert oracle_ratio <= 1.0 + ORACLE_SLACK, \
+        (f"auto_map {oracle_ratio:.2f}x of oracle exceeds "
+         f"{1.0 + ORACLE_SLACK:.2f}x")
+    return {
+        "cpu_only_us": cpu_response,
+        "mapped_us": mapped_response,
+        "oracle_us": oracle_response,
+        "oracle_space": combos,
+        "offloaded": assignment.offloaded(),
+        "speedup_milli": int(speedup * 1000),
+        "oracle_ratio_milli": int(oracle_ratio * 1000),
+    }
+
+
+# -- gate 2: engine-trace determinism ------------------------------------------
+
+
+def build_scenario(seed=SEED, backend=None):
+    """Engines-enabled four-cell scenario on the mod-50 residue grid.
+
+    Every duration (wcets, GPU variant wcets, network latency, stagger
+    quantum) is a multiple of 50 and IRQ / scheduler costs are zeroed
+    — the E22/E23 determinism-probe discipline — so sharded runs stay
+    byte-exact against serial.
+    """
+    from repro import Scenario
+
+    builder = (Scenario()
+               .tier("edge", replicas=1, wcet=200)
+               .tier("infer", fan_out=2, wcet=CPU_WCET,
+                     engines={"gpu": 2}, variants={"gpu": GPU_WCET})
+               .cells(4)
+               .tenant("gold", rate=200, deadline=50_000)
+               .tenant("bronze", rate=150, deadline=50_000)
+               .policy("edf", w_sched=0)
+               .load(1.0)
+               .stagger(50)
+               .options(network_latency=50, network_jitter=0,
+                        node_kwargs={"net_irq_wcet": 0})
+               .seed(seed))
+    if backend is not None:
+        builder.options(backend=backend)
+    return builder
+
+
+def _engine_digest(records):
+    """(count, sha256) of the engine-tagged record stream."""
+    lines = [json.dumps({"time": r.time, "category": r.category,
+                         "event": r.event, "details": r.details},
+                        sort_keys=True)
+             for r in records if "engine" in r.details]
+    digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    return len(lines), digest
+
+
+def determinism_check(backend, shards=2, horizon=HORIZON):
+    """Serial vs ``shards=N`` byte-identity of the engine-tagged trace."""
+    import tempfile
+
+    serial = build_scenario(backend=backend).run(until=horizon)
+    sharded = build_scenario(backend=backend).run(until=horizon,
+                                                  shards=shards)
+    with tempfile.TemporaryDirectory() as tmp:
+        a = pathlib.Path(tmp) / "serial.jsonl"
+        b = pathlib.Path(tmp) / "sharded.jsonl"
+        serial.system.tracer.to_jsonl(str(a))
+        sharded.system.tracer.to_jsonl(str(b))
+        serial_bytes, sharded_bytes = a.read_bytes(), b.read_bytes()
+    assert serial_bytes, "empty serial trace"
+    assert serial_bytes == sharded_bytes, \
+        (f"{backend} shards={shards}: engines-enabled trace diverged "
+         f"from serial")
+    engine_records, digest = _engine_digest(serial.system.tracer.records)
+    assert engine_records, "hetero scenario must emit engine records"
+    return {"records": len(serial.system.tracer),
+            "engine_records": engine_records, "engine_sha256": digest}
+
+
+# -- gate 3: mapped-scenario throughput ----------------------------------------
+
+
+def throughput_check(horizon=HORIZON, repeats=REPEATS):
+    """Best-of-N wall-clock requests/sec of the hetero scenario."""
+    best = 0.0
+    completed = 0
+    for _ in range(repeats):
+        builder = build_scenario()
+        start = time.perf_counter()
+        result = builder.run(until=horizon)
+        elapsed = time.perf_counter() - start
+        completed = sum(result.tenant(name)["completed"]
+                        for name in ("gold", "bronze"))
+        assert completed > 0, "no completed requests"
+        best = max(best, completed / elapsed)
+    return {"completed": completed,
+            "requests_per_sec": round(best, 1)}
+
+
+def run_calibration(n=2_000_000):
+    """Same host-speed yardstick as the E17/E21/E22/E23 gates (ops/sec)."""
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i & 7
+    assert total > 0
+    return n / (time.perf_counter() - start)
+
+
+def _timed(fn, **kwargs):
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return fn(**kwargs)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+
+
+def measure(horizon=HORIZON, repeats=REPEATS, shard_counts=(2, 4)):
+    """All three gates; determinism on both backends."""
+    from repro import available_backends
+
+    calibration = max(_timed(run_calibration) for _ in range(2))
+    quality = quality_check()
+    determinism = {}
+    for backend in sorted(available_backends(), key=lambda n: n != "heapq"):
+        for shards in shard_counts:
+            determinism[f"{backend}@s{shards}"] = determinism_check(
+                backend, shards=shards, horizon=horizon)
+    digests = {cell["engine_sha256"] for cell in determinism.values()}
+    assert len(digests) == 1, \
+        (f"engine record stream differs across backends/shard counts: "
+         f"{determinism}")
+    throughput = throughput_check(horizon=horizon, repeats=repeats)
+    throughput["normalized"] = (throughput["requests_per_sec"]
+                                / calibration)
+    return {
+        "experiment": "E24",
+        "description": "heterogeneous engines: auto_map quality vs "
+                       "cpu-only and oracle, engine-trace shard "
+                       "determinism, mapped-scenario throughput "
+                       "(see benchmarks/bench_hetero_mapping.py)",
+        "seed": SEED,
+        "horizon": horizon,
+        "calibration_ops_per_sec": round(calibration, 1),
+        "tolerance": REGRESSION_TOLERANCE,
+        "quality": quality,
+        "determinism": determinism,
+        "throughput": throughput,
+    }
+
+
+def check(results, baseline):
+    """Exact quality/determinism figures + the throughput gate."""
+    tolerance = baseline.get("tolerance", REGRESSION_TOLERANCE)
+    floor = 1.0 - tolerance
+    failures = []
+    for key in ("cpu_only_us", "mapped_us", "oracle_us", "oracle_space",
+                "offloaded", "speedup_milli", "oracle_ratio_milli"):
+        if results["quality"][key] != baseline["quality"][key]:
+            # Fully deterministic single-request simulations: a changed
+            # figure means mapping or engine semantics changed without
+            # a re-baseline.
+            failures.append(
+                (f"quality[{key}]",
+                 f"{results['quality'][key]} != "
+                 f"{baseline['quality'][key]}"))
+    for label, entry in baseline["determinism"].items():
+        fresh = results["determinism"].get(label)
+        if fresh is None:
+            failures.append((f"determinism[{label}]", "missing"))
+            continue
+        for key in ("records", "engine_records", "engine_sha256"):
+            if fresh[key] != entry[key]:
+                failures.append((f"determinism[{label}][{key}]",
+                                 f"{fresh[key]} != {entry[key]}"))
+    ratio = (results["throughput"]["normalized"]
+             / baseline["throughput"]["normalized"])
+    if ratio < floor:
+        failures.append(("throughput", f"{ratio:.2f}x"))
+    return failures
+
+
+def _print_results(results, baseline=None):
+    from benchmarks.conftest import print_table
+
+    quality = results["quality"]
+    rows = [
+        ["cpu-only", f"{quality['cpu_only_us']:,} us", "1.00x"],
+        ["auto_map heuristic", f"{quality['mapped_us']:,} us",
+         f"{quality['speedup_milli'] / 1000:.2f}x"],
+        ["oracle (exhaustive)", f"{quality['oracle_us']:,} us",
+         f"heuristic at {quality['oracle_ratio_milli'] / 1000:.2f}x"],
+    ]
+    print_table(
+        f"E24 — mapping quality, {SHARD_UNITS} shards "
+        f"(cpu {CPU_WCET} us / gpu {GPU_WCET} us, 2 GPU units, "
+        f"{quality['oracle_space']} mappings searched)",
+        ["mapping", "response", "vs cpu-only"], rows)
+    rows = []
+    for label, entry in results["determinism"].items():
+        rows.append([label, entry["records"], entry["engine_records"],
+                     entry["engine_sha256"][:12], "byte-identical"])
+    print_table(
+        f"E24 — engine-trace determinism, seed {results['seed']}, "
+        f"horizon {results['horizon']:,} us",
+        ["backend@shards", "records", "engine records", "engine sha256",
+         "serial vs sharded"], rows)
+    throughput = results["throughput"]
+    suffix = ""
+    if baseline is not None:
+        suffix = (f"  ({throughput['normalized'] / baseline['throughput']['normalized']:.2f}x"
+                  f" baseline)")
+    print_table("E24 — mapped-scenario throughput",
+                ["figure", "value"],
+                [["completed requests", throughput["completed"]],
+                 ["requests/sec",
+                  f"{throughput['requests_per_sec']:,.0f}{suffix}"]])
+
+
+def _load_bench_file():
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {}
+
+
+def smoke():
+    """CI-sized sanity run: mapping quality (2x floor, 10% oracle
+    slack) and serial-vs-shards=2 byte-identity of the engines-enabled
+    trace on both backends.  No baseline comparison — containers are
+    too noisy for wall-clock gates, and the quality/determinism
+    asserts are the point."""
+    results = measure(horizon=150_000, repeats=2, shard_counts=(2,))
+    _print_results(results)
+    print("smoke passed: auto_map beats cpu-only >= 2x within 10% of "
+          "the oracle; engines-enabled traces byte-identical "
+          "(serial == shards=2, both backends)")
+    return 0
+
+
+#: pytest entry point so ``pytest benchmarks/ --benchmark-only`` and
+#: ``python -m repro.experiments E24`` regenerate the comparison table.
+def test_hetero_mapping(benchmark):
+    results = benchmark.pedantic(
+        lambda: measure(horizon=150_000, repeats=2, shard_counts=(2,)),
+        rounds=1, iterations=1)
+    _print_results(results)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--smoke" in argv:
+        return smoke()
+    if "--write" in argv:
+        results = measure()
+        data = _load_bench_file()
+        data[SECTION] = results
+        BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        _print_results(results)
+        print(f"baseline section {SECTION!r} written to {BASELINE_PATH}")
+        return 0
+    if "--check" in argv:
+        data = _load_bench_file()
+        if SECTION not in data:
+            print(f"error: no {SECTION!r} section in {BASELINE_PATH}; "
+                  f"run --write first", file=sys.stderr)
+            return 2
+        baseline = data[SECTION]
+        results = measure()
+        _print_results(results, baseline)
+        failures = check(results, baseline)
+        if failures:
+            for label, detail in failures:
+                print(f"REGRESSION {label}: {detail}", file=sys.stderr)
+            return 1
+        print("gate passed: mapping quality and engine-trace digests "
+              "exactly reproduce the committed baseline; throughput "
+              "within tolerance (calibration-normalized)")
+        return 0
+    print(__doc__)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    raise SystemExit(main())

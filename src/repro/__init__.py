@@ -63,6 +63,8 @@ Deeper layers remain importable for research use:
   consensus, fault detection, storage, dependency tracking,
 * :mod:`repro.scenarios` — production traffic scenarios (tiered
   request DAGs, heavy-tailed service times, SLO scoreboard),
+* :mod:`repro.hetero` — heterogeneous processing engines (GPU/DSP
+  pools, multi-version EUs, EU-to-engine mapping heuristics),
 * :mod:`repro.workloads` — synthetic task-set generators,
 * :mod:`repro.faults` — fault-injection campaigns,
 * :mod:`repro.analysis` — cost calibration and trace analysis,
@@ -90,6 +92,16 @@ from repro.core.heug import (
 )
 from repro.core.attributes import Aperiodic, Periodic, Sporadic
 from repro.faults import Campaign, CampaignResult, FaultPlan, random_plan
+from repro.hetero import (
+    Assignment,
+    EngineClass,
+    HeterogeneousPool,
+    apply_assignment,
+    auto_map,
+    cpu_only,
+    enumerate_assignments,
+    map_task,
+)
 from repro.obs.forensics import forensics_report
 from repro.obs.live import (
     Alert,
@@ -129,7 +141,7 @@ from repro.sim.trace import Tracer, TraceRecord, load_trace
 from repro.system import HadesSystem, RunOptions
 from repro.workloads.arrivals import diurnal_profile, nhpp_arrivals
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # deployment facade
@@ -178,6 +190,15 @@ __all__ = [
     "UtilizationTest",
     "ResponseTimeTest",
     "SpringProbeTest",
+    # heterogeneous engines & EU-to-engine mapping (repro.hetero)
+    "EngineClass",
+    "HeterogeneousPool",
+    "Assignment",
+    "map_task",
+    "apply_assignment",
+    "auto_map",
+    "cpu_only",
+    "enumerate_assignments",
     # fault-injection campaigns
     "Campaign",
     "CampaignResult",

@@ -99,6 +99,9 @@ class EUInstance:
         self.qualified_name = (f"{instance.task.name}#{instance.seq}"
                                f"/{eu.name}")
         self.inputs: Dict[str, Any] = {}
+        #: Engine class this execution runs on ("cpu" unless the unit
+        #: was mapped to an accelerator variant — repro.hetero).
+        self.engine: str = getattr(eu, "engine", "cpu")
         attrs: EUAttributes = getattr(eu, "attrs", EUAttributes())
         self.priority = attrs.prio
         self.preemption_threshold = (attrs.pt if attrs.pt is not None
@@ -712,10 +715,26 @@ class Dispatcher:
             return  # the instance will stall; deadline monitoring reports it
         eui.state = EUState.READY
         eui.release_time = self.sim.now
+        processor = None
+        pool = None
+        if eui.engine != "cpu":
+            pool = getattr(node, "engines", None)
+            if pool is None or not pool.has(eui.engine):
+                raise RuntimeError(
+                    f"{eui.qualified_name}: mapped to engine "
+                    f"{eui.engine!r} but node {eui.node_id!r} has no "
+                    f"such engine units (declare them with "
+                    f"HadesSystem(engines=...) or Scenario.engines)")
+            processor = pool.acquire(eui.engine)
         thread = KThread(node, self._eu_body(eui),
                          name=eui.qualified_name,
                          priority=eui.priority,
-                         preemption_threshold=eui.preemption_threshold)
+                         preemption_threshold=eui.preemption_threshold,
+                         processor=processor)
+        if pool is not None:
+            claimed_pool, claimed_unit = pool, processor
+            thread.finished.add_callback(
+                lambda _evt: claimed_pool.release(claimed_unit))
         eui.thread = thread
         original_hook = thread.on_state_change
 
@@ -730,9 +749,14 @@ class Dispatcher:
         thread.finished.add_callback(
             lambda evt: self._on_eu_thread_done(eui, evt))
         thread.start()
-        self.tracer.record("dispatcher", "thread_start",
-                           eu=eui.qualified_name, node=eui.node_id,
-                           priority=eui.priority)
+        if eui.engine != "cpu":
+            self.tracer.record("dispatcher", "thread_start",
+                               eu=eui.qualified_name, node=eui.node_id,
+                               priority=eui.priority, engine=eui.engine)
+        else:
+            self.tracer.record("dispatcher", "thread_start",
+                               eu=eui.qualified_name, node=eui.node_id,
+                               priority=eui.priority)
         self._m_thread_starts.inc()
 
     def _eu_body(self, eui: EUInstance):
@@ -742,7 +766,7 @@ class Dispatcher:
         if costs.c_start_act:
             self.ledger.charge("c_start_act", costs.c_start_act)
             yield Compute(costs.c_start_act, "dispatcher")
-        actual = eu.resolve_actual(eui.inputs)
+        actual = eu.resolve_actual(eui.inputs, engine=eui.engine)
         eui.actual_used = actual
         if actual:
             yield Compute(actual, "application")
@@ -808,12 +832,14 @@ class Dispatcher:
         eui.state = EUState.DONE
         eui.finish_time = self.sim.now
 
-        # Early termination monitoring (§3.2.1 event iii).
-        if eui.actual_used is not None and eui.actual_used < eu.wcet:
+        # Early termination monitoring (§3.2.1 event iii), against the
+        # WCET of the engine variant that actually ran.
+        wcet_bound = eu.wcet_on(eui.engine)
+        if eui.actual_used is not None and eui.actual_used < wcet_bound:
             self.monitor.report(ViolationKind.EARLY_TERMINATION, self.sim.now,
                                 eui.instance.task.name, eui.instance.seq,
                                 eu=eu.name, actual=eui.actual_used,
-                                wcet=eu.wcet)
+                                wcet=wcet_bound)
 
         # Monitoring timers that can no longer report anything become
         # heap tombstones instead of firing into early returns.

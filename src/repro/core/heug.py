@@ -118,6 +118,19 @@ class CodeEU(EU):
     callable of the action inputs — and must never exceed ``wcet``
     (executions shorter than the WCET are the "early termination"
     events the dispatcher monitors).
+
+    **Multi-version units (repro.hetero).**  ``variants`` optionally
+    maps engine class names to per-class WCETs — alternative
+    implementations of the same unit on heterogeneous engines (C-DAG /
+    YASMIN): ``variants={"cpu": 900, "gpu": 120}``.  The positional
+    ``wcet`` stays the CPU version's bound (a ``"cpu"`` key, if given,
+    must agree with it).  ``engine`` selects the version that runs —
+    ``"cpu"`` by default, normally chosen by the mapping layer
+    (:mod:`repro.hetero.mapping`) rather than by hand.
+    ``actual_variants`` optionally gives per-engine actual times (int
+    or callable of the inputs); a non-CPU engine without an entry runs
+    for its full variant WCET — the CPU ``actual_time`` never transfers
+    across engine classes.
     """
 
     def __init__(self, name: str, wcet: int,
@@ -127,11 +140,50 @@ class CodeEU(EU):
                  resources: Sequence[Tuple[Resource, AccessMode]] = (),
                  wait_for: Sequence[ConditionVariable] = (),
                  may_signal: Sequence[ConditionVariable] = (),
-                 attrs: Optional[EUAttributes] = None):
+                 attrs: Optional[EUAttributes] = None,
+                 variants: Optional[Dict[str, int]] = None,
+                 actual_variants: Optional[Dict[str, ActualTime]] = None,
+                 engine: str = "cpu"):
         super().__init__(name)
         if wcet < 0:
-            raise ValueError(f"negative wcet for {name}")
+            raise ValueError(
+                f"EU {name!r}: wcet must be >= 0, got {wcet}")
         self.wcet = int(wcet)
+        self.variants: Dict[str, int] = {}
+        if variants is not None:
+            if not isinstance(variants, dict) or not variants:
+                raise ValueError(
+                    f"EU {name!r}: variants= must be a non-empty "
+                    f"mapping of engine class to wcet, got {variants!r}")
+            for cls_name, bound in variants.items():
+                if not isinstance(cls_name, str) or not cls_name:
+                    raise ValueError(
+                        f"EU {name!r}: variant engine class must be a "
+                        f"non-empty string, got {cls_name!r}")
+                if isinstance(bound, bool) or not isinstance(bound, int) \
+                        or bound < 0:
+                    raise ValueError(
+                        f"EU {name!r}: variant wcet for engine "
+                        f"{cls_name!r} must be >= 0, got {bound!r}")
+                if cls_name == "cpu" and int(bound) != self.wcet:
+                    raise ValueError(
+                        f"EU {name!r}: variants['cpu'] ({bound}) "
+                        f"disagrees with wcet ({self.wcet})")
+                self.variants[cls_name] = int(bound)
+        self.actual_variants: Dict[str, ActualTime] = dict(
+            actual_variants or {})
+        for cls_name in self.actual_variants:
+            if cls_name != "cpu" and cls_name not in self.variants:
+                raise ValueError(
+                    f"EU {name!r}: actual_variants names engine "
+                    f"{cls_name!r} with no matching wcet variant")
+        if not isinstance(engine, str) or not engine:
+            raise ValueError(
+                f"EU {name!r}: engine must be a non-empty string, "
+                f"got {engine!r}")
+        #: Engine class the unit is currently mapped to ("cpu" unless
+        #: the mapping layer assigned a variant).
+        self.engine = engine
         self.node_id = node_id
         self.action = action
         self.actual_time = actual_time
@@ -143,18 +195,56 @@ class CodeEU(EU):
         self.may_signal: List[ConditionVariable] = list(may_signal)
         self.attrs = attrs if attrs is not None else EUAttributes()
 
-    def resolve_actual(self, inputs: Dict[str, Any]) -> int:
-        """Actual execution time for this run (defaults to the WCET)."""
-        if self.actual_time is None:
+    def _context(self) -> str:
+        """``task 'name'/EU 'name'`` prefix for diagnostics."""
+        if self.task is not None:
+            return f"task {self.task.name!r}/EU {self.name!r}"
+        return f"EU {self.name!r}"
+
+    def engine_candidates(self) -> List[str]:
+        """Engine classes this unit has an implementation for."""
+        candidates = ["cpu"]
+        candidates.extend(sorted(cls for cls in self.variants
+                                 if cls != "cpu"))
+        return candidates
+
+    def wcet_on(self, engine: str) -> int:
+        """The WCET of this unit's ``engine`` variant.
+
+        Falls back to the base (CPU) WCET when no variant is declared
+        for ``engine`` — single-version units are engine-agnostic.
+        """
+        if engine == "cpu":
             return self.wcet
-        actual = (self.actual_time(inputs) if callable(self.actual_time)
-                  else self.actual_time)
+        return self.variants.get(engine, self.wcet)
+
+    def resolve_actual(self, inputs: Dict[str, Any],
+                       engine: str = "cpu") -> int:
+        """Actual execution time for this run on ``engine``.
+
+        On the CPU this is ``actual_time`` (defaulting to the WCET).
+        On a non-CPU engine it is ``actual_variants[engine]`` if
+        declared, else deterministically the variant's WCET — the CPU
+        actual-time model does not transfer across engine classes.
+        Either way it must not exceed the engine variant's WCET.
+        """
+        bound = self.wcet_on(engine)
+        if engine == "cpu":
+            source = self.actual_time
+        else:
+            source = self.actual_variants.get(engine)
+        if source is None:
+            return bound
+        actual = source(inputs) if callable(source) else source
         actual = int(actual)
         if actual < 0:
-            raise ValueError(f"negative actual time for {self.name}")
-        if actual > self.wcet:
             raise ValueError(
-                f"{self.name}: actual time {actual} exceeds wcet {self.wcet}")
+                f"{self._context()}: negative actual time {actual} "
+                f"on engine {engine!r}")
+        if actual > bound:
+            raise ValueError(
+                f"{self._context()}: actual time {actual} exceeds "
+                f"wcet {bound} on engine {engine!r}")
         return actual
 
 
@@ -316,7 +406,13 @@ class Task:
 
     def code_eu(self, name: str, wcet: int, **kwargs: Any) -> CodeEU:
         """Convenience: create and add a :class:`CodeEU`; returns it."""
-        return self.add(CodeEU(name, wcet, **kwargs))  # type: ignore[return-value]
+        try:
+            eu = CodeEU(name, wcet, **kwargs)
+        except ValueError as error:
+            # Construction diagnostics name only the EU; large graphs
+            # need the owning task too.
+            raise ValueError(f"task {self.name!r}: {error}") from None
+        return self.add(eu)  # type: ignore[return-value]
 
     def inv_eu(self, name: str, target: "Task", **kwargs: Any) -> InvEU:
         """Convenience: create and add an :class:`InvEU`; returns it."""
@@ -400,8 +496,9 @@ class Task:
         return [eu for eu in self.eus if isinstance(eu, InvEU)]
 
     def total_wcet(self) -> int:
-        """Sum of the WCETs of all Code_EUs (one-processor upper bound)."""
-        return sum(eu.wcet for eu in self.code_eus())
+        """Sum of the WCETs of all Code_EUs (one-processor upper bound),
+        using each unit's currently-mapped engine variant."""
+        return sum(eu.wcet_on(eu.engine) for eu in self.code_eus())
 
     # -- validation ----------------------------------------------------------
 

@@ -57,6 +57,7 @@ EXPERIMENTS = {
     "E21": "bench_sharded_scaling.py",
     "E22": "bench_service_scenarios.py",
     "E23": "bench_live_monitoring.py",
+    "E24": "bench_hetero_mapping.py",
     "A1": "bench_ablations.py",
     "A2": "bench_ablations.py",
     "A3": "bench_ablations.py",

@@ -1,0 +1,41 @@
+"""Heterogeneous processing engines and multi-version EU mapping.
+
+The C-DAG / YASMIN layer on top of the HADES kernel (ROADMAP item 4):
+
+* :mod:`repro.hetero.engines` — engine classes and per-node pools of
+  non-preemptive accelerator units (``Node(engines={"gpu": 2})``),
+* :mod:`repro.hetero.mapping` — the deterministic ILP-lite heuristic
+  assigning each multi-version Code_EU (``variants={"gpu": 120}``) to
+  the engine class that minimizes the load-balanced critical path.
+
+See DESIGN.md §10 for the preemption-semantics model and
+``examples/inference_serving.py`` for a walkthrough.
+"""
+
+from repro.hetero.engines import (
+    CPU_CLASS,
+    EngineClass,
+    HeterogeneousPool,
+    engine_labels,
+)
+from repro.hetero.mapping import (
+    Assignment,
+    apply_assignment,
+    auto_map,
+    cpu_only,
+    enumerate_assignments,
+    map_task,
+)
+
+__all__ = [
+    "CPU_CLASS",
+    "EngineClass",
+    "HeterogeneousPool",
+    "engine_labels",
+    "Assignment",
+    "apply_assignment",
+    "auto_map",
+    "cpu_only",
+    "enumerate_assignments",
+    "map_task",
+]

@@ -23,15 +23,34 @@ if TYPE_CHECKING:
 
 
 class Cpu:
-    """One processor: schedules submitted threads preemptively."""
+    """One processor: schedules submitted threads preemptively.
+
+    ``engine_class`` generalizes the processor to heterogeneous
+    platforms (C-DAG / YASMIN, ROADMAP item 4): the default ``"cpu"``
+    class is preemptive; every other class (``"gpu"``, ``"dsp"``, …)
+    is *non-preemptive* — a started compute block runs to completion
+    and challengers wait, whatever their priority.  ``engine_label``
+    names the individual unit (e.g. ``"gpu0"``) and is stamped on this
+    unit's trace records so observability can attribute time to the
+    engine that ran it; the plain CPU carries no label, keeping
+    engine-free traces byte-identical to earlier releases.
+    """
 
     def __init__(self, sim: Simulator, tracer: Tracer, node_id: str,
-                 context_switch_cost: int = 0, metrics=None):
+                 context_switch_cost: int = 0, metrics=None,
+                 engine_class: str = "cpu",
+                 engine_label: Optional[str] = None):
         from repro.obs.metrics import resolve_metrics
 
         self.sim = sim
         self.tracer = tracer
         self.node_id = node_id
+        self.engine_class = engine_class
+        self.engine_label = engine_label
+        #: Non-CPU engine classes run every compute block to completion.
+        self.preemptive = engine_class == "cpu"
+        self._engine_kv = (
+            {} if engine_label is None else {"engine": engine_label})
         self.context_switch_cost = int(context_switch_cost)
         self.metrics = resolve_metrics(metrics)
         self._m_dispatches = self.metrics.counter("cpu.dispatches")
@@ -74,7 +93,7 @@ class Cpu:
             self._checkpoint()
             self._running = None
             self.tracer.record("cpu", "withdraw", node=self.node_id,
-                               thread=thread.name)
+                               thread=thread.name, **self._engine_kv)
             self._schedule()
         elif thread in self._ready:
             self._ready.remove(thread)
@@ -123,6 +142,10 @@ class Cpu:
         from repro.kernel.threads import ThreadState
 
         if self._running is not None:
+            if not self.preemptive:
+                # Non-preemptive engine: the started block runs to
+                # completion; the dispatcher accounts for the blocking.
+                return
             challenger = self._top_ready()
             if (challenger is not None and
                     self._selection_priority(challenger) >
@@ -134,7 +157,8 @@ class Cpu:
                 self._ready.append(preempted)
                 self.tracer.record("cpu", "preempt", node=self.node_id,
                                    thread=preempted.name, by=challenger.name,
-                                   by_priority=challenger.priority)
+                                   by_priority=challenger.priority,
+                                   **self._engine_kv)
                 self._m_preemptions.inc()
             else:
                 return
@@ -164,7 +188,7 @@ class Cpu:
         finish_in = overhead + thread._remaining
         self.tracer.record("cpu", "dispatch", node=self.node_id,
                            thread=thread.name, remaining=thread._remaining,
-                           priority=thread.priority)
+                           priority=thread.priority, **self._engine_kv)
         self._completion_timer = self.sim.call_in(
             finish_in, lambda: self._on_completion(token, thread))
 
@@ -178,7 +202,7 @@ class Cpu:
         thread._pt_boosted = False
         self._running = None
         self.tracer.record("cpu", "complete", node=self.node_id,
-                           thread=thread.name)
+                           thread=thread.name, **self._engine_kv)
         thread._compute_finished()
         # The thread's _advance may have resubmitted work already; only
         # re-dispatch if the CPU is still idle.

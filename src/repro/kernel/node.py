@@ -39,15 +39,26 @@ class Node:
                  clock_tick_wcet: int = DEFAULT_CLOCK_TICK_WCET,
                  net_irq_wcet: int = DEFAULT_NET_IRQ_WCET,
                  net_irq_pseudo_period: int = DEFAULT_NET_IRQ_PSEUDO_PERIOD,
-                 metrics=None):
+                 metrics=None,
+                 engines: Optional[Dict[str, int]] = None):
         self.sim = sim
         self.node_id = node_id
         self.tracer = tracer if tracer is not None else Tracer(lambda: sim.now)
         if self.tracer._clock is None:
             self.tracer.bind_clock(lambda: sim.now)
         self.clock = clock if clock is not None else HardwareClock(sim)
+        self.metrics = metrics
         self.cpu = Cpu(sim, self.tracer, node_id, context_switch_cost,
                        metrics=metrics)
+        #: Heterogeneous engine pool (repro.hetero), or None for the
+        #: paper's homogeneous mono-processor node.
+        self.engines = None
+        if engines is not None:
+            # Imported lazily: repro.hetero is an optional layer above
+            # the kernel, and importing it here unconditionally would
+            # cycle through the repro facade during package import.
+            from repro.hetero.engines import HeterogeneousPool
+            self.engines = HeterogeneousPool(self, engines)
         self.crashed = False
         self._threads: List[KThread] = []
         self._crash_listeners: List[Callable[["Node"], None]] = []

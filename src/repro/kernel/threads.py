@@ -87,10 +87,15 @@ class KThread:
 
     def __init__(self, node: "Node", body: ThreadBody, name: str = "",
                  priority: int = 1,
-                 preemption_threshold: Optional[int] = None):
+                 preemption_threshold: Optional[int] = None,
+                 processor=None):
         KThread._next_id += 1
         self.tid = KThread._next_id
         self.node = node
+        #: The processing unit this thread's Compute blocks run on —
+        #: the node's CPU by default, or a unit of the node's
+        #: heterogeneous engine pool (repro.hetero).
+        self.cpu = processor if processor is not None else node.cpu
         self.sim = node.sim
         self.name = name or f"thread-{self.tid}"
         self._priority = priority
@@ -146,7 +151,7 @@ class KThread:
         if preemption_threshold is not None:
             self._preemption_threshold = preemption_threshold
         if self.state in (ThreadState.READY, ThreadState.RUNNING):
-            self.node.cpu.priorities_changed()
+            self.cpu.priorities_changed()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -165,7 +170,7 @@ class KThread:
         if self.state in (ThreadState.FINISHED, ThreadState.KILLED):
             return
         if self.state in (ThreadState.READY, ThreadState.RUNNING):
-            self.node.cpu.withdraw(self)
+            self.cpu.withdraw(self)
         target = self._wait_target
         if (target is not None and self._wait_private
                 and not target.triggered and not target.cancelled):
@@ -198,7 +203,7 @@ class KThread:
         if not self.alive:
             raise SimulationError(f"cannot suspend dead thread {self.name!r}")
         if self.state in (ThreadState.READY, ThreadState.RUNNING):
-            self.node.cpu.withdraw(self)
+            self.cpu.withdraw(self)
             self._set_state(ThreadState.BLOCKED)
         # NEW (not yet kicked) or mid-advance: the flag makes the next
         # Compute request park instead of entering the Run Queue.
@@ -213,7 +218,7 @@ class KThread:
             return
         if self._remaining > 0:
             self._set_state(ThreadState.READY)
-            self.node.cpu.submit(self)
+            self.cpu.submit(self)
         else:
             # Suspended exactly at a compute boundary: continue the body.
             self._compute_finished()
@@ -251,7 +256,7 @@ class KThread:
             self._remaining = request.duration
             self._category = request.category
             self._set_state(ThreadState.READY)
-            self.node.cpu.submit(self)
+            self.cpu.submit(self)
         elif isinstance(request, Sleep):
             self._set_state(ThreadState.BLOCKED)
             target = self.sim.timeout(request.delay)

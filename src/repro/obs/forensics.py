@@ -236,6 +236,8 @@ def _format_path(activation: ActivationSpan, path: List[CriticalHop]
                 arrow += ")"
             lines.append(arrow + "-->")
         where = f" on {hop.eu.node}" if hop.eu.node else ""
+        if hop.eu.engine != "cpu":
+            where += f" [{hop.eu.engine}]"
         running = sum(seg.duration(hop.end) for seg in hop.eu.segments
                       if seg.state == "running")
         lines.append(f"    {hop.eu.qualified_name}"

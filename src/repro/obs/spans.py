@@ -160,6 +160,9 @@ class EUSpan:
     activation_id: str
     kind: str = "code"              # "code" | "inv"
     node: Optional[str] = None
+    #: Engine class the unit ran on ("cpu", or "gpu"/"dsp"/… for units
+    #: mapped to an accelerator — repro.hetero).
+    engine: str = "cpu"
     priority: Optional[int] = None
     ready_time: Optional[int] = None
     first_run: Optional[int] = None
@@ -255,12 +258,15 @@ class AlertEvent:
 
 @dataclass
 class CpuSlice:
-    """One contiguous interval a thread held a CPU."""
+    """One contiguous interval a thread held a processing unit."""
     node: str
     thread: str
     start: int
     end: Optional[int] = None
     priority: Optional[int] = None
+    #: Label of the unit that ran the slice: "cpu" for the node's CPU,
+    #: or the engine-unit label ("gpu0", "dsp1", …) for accelerators.
+    engine: str = "cpu"
 
 
 @dataclass
@@ -290,6 +296,10 @@ class Decomposition:
     network: int = 0
     slack: int = 0
     path: List[CriticalHop] = field(default_factory=list)
+    #: ``executing`` split by the engine class that ran each hop
+    #: (values sum exactly to ``executing``; {"cpu": executing} for
+    #: engine-free activations).
+    executing_by_engine: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -383,8 +393,10 @@ class _Builder:
         self._in_flight: Dict[Tuple[str, int], MessageSpan] = {}
         #: (activation_id, edge index) of sends awaiting their msg span.
         self._pending_remote: Dict[Tuple[str, int], int] = {}
-        #: node -> open CpuSlice.
-        self._open_slice: Dict[str, CpuSlice] = {}
+        #: (node, engine unit label) -> open CpuSlice.  The CPU and the
+        #: node's accelerator units run concurrently, so each unit has
+        #: its own open slice.
+        self._open_slice: Dict[Tuple[str, str], CpuSlice] = {}
 
     # -- helpers ---------------------------------------------------------
 
@@ -453,6 +465,7 @@ class _Builder:
     def _on_thread_start(self, time: int, d: dict) -> None:
         span = self._eu_span(d["eu"])
         span.node = d.get("node")
+        span.engine = d.get("engine", "cpu")
         span.priority = d.get("priority")
         span.ready_time = time
         if d.get("node"):
@@ -525,10 +538,11 @@ class _Builder:
 
     def _on_dispatch(self, time: int, d: dict) -> None:
         node, thread = d["node"], d["thread"]
+        engine = d.get("engine", "cpu")
         self._note_node(node)
-        self._close_slice(node, time)
-        self._open_slice[node] = CpuSlice(node, thread, time, None,
-                                          d.get("priority"))
+        self._close_slice(node, engine, time)
+        self._open_slice[(node, engine)] = CpuSlice(
+            node, thread, time, None, d.get("priority"), engine)
         span = self._eu_for_thread(thread)
         if span is not None:
             if span.first_run is None:
@@ -537,7 +551,7 @@ class _Builder:
 
     def _on_preempt(self, time: int, d: dict) -> None:
         node, thread = d["node"], d["thread"]
-        self._close_slice(node, time)
+        self._close_slice(node, d.get("engine", "cpu"), time)
         span = self._eu_for_thread(thread)
         if span is not None:
             span.open_segment("preempted", time, by=d.get("by"),
@@ -545,7 +559,7 @@ class _Builder:
 
     def _on_complete(self, time: int, d: dict) -> None:
         node, thread = d["node"], d["thread"]
-        self._close_slice(node, time)
+        self._close_slice(node, d.get("engine", "cpu"), time)
         span = self._eu_for_thread(thread)
         if span is not None:
             # The body continues at this instant: either more compute
@@ -554,7 +568,7 @@ class _Builder:
 
     def _on_withdraw(self, time: int, d: dict) -> None:
         node, thread = d["node"], d["thread"]
-        self._close_slice(node, time)
+        self._close_slice(node, d.get("engine", "cpu"), time)
         span = self._eu_for_thread(thread)
         if span is not None:
             span.open_segment("waiting:withdrawn", time)
@@ -675,8 +689,8 @@ class _Builder:
         self._alert_event(time, "reconfigure",
                           {**d, "rule": d.get("trigger", "")})
 
-    def _close_slice(self, node: str, time: int) -> None:
-        open_slice = self._open_slice.pop(node, None)
+    def _close_slice(self, node: str, engine: str, time: int) -> None:
+        open_slice = self._open_slice.pop((node, engine), None)
         if open_slice is None:
             return
         if time > open_slice.start:
@@ -685,10 +699,11 @@ class _Builder:
 
     def finish(self) -> SpanForest:
         """Close dangling state at trace end and return the forest."""
-        for node in list(self._open_slice):
-            open_slice = self._open_slice.pop(node)
+        for key in list(self._open_slice):
+            open_slice = self._open_slice.pop(key)
             open_slice.end = None  # still running at trace end
-            self.forest.cpu_slices.setdefault(node, []).append(open_slice)
+            self.forest.cpu_slices.setdefault(open_slice.node,
+                                              []).append(open_slice)
         # Edge messages whose edge_satisfied arrived after the send.
         for msg in self.forest.messages:
             self._attach_edge_message(msg)
@@ -828,6 +843,10 @@ def decompose(activation: ActivationSpan,
                 totals["slack"] += s - covered
             component = _STATE_COMPONENT.get(seg.state, "slack")
             totals[component] += e - s
+            if component == "executing":
+                engine = hop.eu.engine
+                out.executing_by_engine[engine] = (
+                    out.executing_by_engine.get(engine, 0) + (e - s))
             covered = e
         if covered < window_end:
             totals["slack"] += window_end - covered

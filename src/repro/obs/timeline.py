@@ -7,7 +7,9 @@ Chrome trace-event JSON format:
   in sorted order, with ``process_name`` metadata),
 * **thread 0** of each process is the node's CPU; every CPU slice
   becomes a complete (``ph="X"``) duration event named after the
-  kernel thread that held the CPU,
+  kernel thread that held the CPU.  Heterogeneous engine units
+  (repro.hetero) appear as additional threads of the node's process,
+  named by their unit label (``gpu0``, ``dsp1``, …),
 * **flow events** (``ph="s"`` / ``ph="f"``) connect the send and
   delivery of every remote HEUG precedence edge across processes,
 * **instant events** (``ph="i"``) mark deadline misses (global scope),
@@ -69,6 +71,16 @@ def build_timeline(source: Union[TraceSource, SpanForest]) -> dict:
     pids = _pid_map(forest)
     events: List[dict] = []
 
+    # tid layout per node process: 0 is the node's CPU; each accelerator
+    # unit that ran a slice gets its own thread (sorted labels -> 1..N),
+    # so heterogeneous engines render side by side under their node.
+    engine_tids: Dict[str, Dict[str, int]] = {}
+    for node, slices in forest.cpu_slices.items():
+        labels = sorted({sl.engine for sl in slices if sl.engine != "cpu"})
+        engine_tids[node] = {"cpu": 0}
+        engine_tids[node].update(
+            {label: rank + 1 for rank, label in enumerate(labels)})
+
     for node, pid in pids.items():
         events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
                        "name": "process_name", "args": {"name": node}})
@@ -77,15 +89,23 @@ def build_timeline(source: Union[TraceSource, SpanForest]) -> dict:
                        "args": {"sort_index": pid}})
         events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
                        "name": "thread_name", "args": {"name": "cpu"}})
+        for label, tid in sorted(engine_tids.get(node, {}).items(),
+                                 key=lambda item: item[1]):
+            if tid == 0:
+                continue
+            events.append({"ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                           "name": "thread_name", "args": {"name": label}})
 
     for node in sorted(forest.cpu_slices):
         pid = pids[node]
+        tids = engine_tids.get(node, {})
         for sl in forest.cpu_slices[node]:
             end = sl.end if sl.end is not None else forest.t_end
             args = {}
             if sl.priority is not None:
                 args["priority"] = sl.priority
-            events.append({"ph": "X", "pid": pid, "tid": 0,
+            events.append({"ph": "X", "pid": pid,
+                           "tid": tids.get(sl.engine, 0),
                            "ts": sl.start, "dur": max(0, end - sl.start),
                            "name": sl.thread, "cat": "cpu", "args": args})
 

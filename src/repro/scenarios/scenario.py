@@ -92,6 +92,11 @@ class _TierSpec:
     wcet: int
     service: Optional[ServiceTimeModel]
     budget: Optional[int]
+    #: Accelerator pool per replica node of this tier ({"gpu": 2}),
+    #: or None for plain CPU nodes (repro.hetero).
+    engines: Optional[Dict[str, int]] = None
+    #: Per-engine-class WCETs of this tier's units ({"gpu": 120}).
+    variants: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)
@@ -213,13 +218,18 @@ class Scenario:
         self._horizon: Optional[int] = None
         self._stagger: Optional[int] = None
         self._monitors: List[_MonitorSpec] = []
+        #: Raw node_id -> {engine class: count} overrides merged over
+        #: the per-tier ``engines=`` declarations (repro.hetero).
+        self._engine_overrides: Dict[str, Dict[str, int]] = {}
 
     # -- declarations ------------------------------------------------------
 
     def tier(self, name: str, replicas: int = 1, fan_out: int = 1,
              wcet: int = 1_000,
              service: Optional[ServiceTimeModel] = None,
-             budget: Optional[int] = None) -> "Scenario":
+             budget: Optional[int] = None,
+             engines: Optional[Dict[str, int]] = None,
+             variants: Optional[Dict[str, int]] = None) -> "Scenario":
         """Declare the next service tier (declaration order = depth).
 
         ``replicas`` — nodes of this tier per cell (tenants and fan-out
@@ -230,6 +240,14 @@ class Scenario:
         for actual times (default: every unit burns its WCET);
         ``budget`` — this tier's latency budget (µs), accumulated into
         a per-unit deadline attribute when every tier declares one.
+
+        ``engines`` gives every replica node of this tier a
+        heterogeneous accelerator pool (``{"gpu": 2}``); ``variants``
+        declares per-engine-class WCETs for this tier's units
+        (``{"gpu": 120}``).  When any tier declares engines, every
+        tenant DAG is auto-mapped by the deterministic
+        :func:`repro.hetero.mapping.map_task` heuristic at build time —
+        shard replicas replay the identical mapping (repro.hetero).
         """
         if any(t.name == name for t in self._tiers):
             raise ValueError(f"duplicate tier {name!r}")
@@ -242,8 +260,34 @@ class Scenario:
             raise ValueError("wcet must be > 0")
         if budget is not None and budget <= 0:
             raise ValueError("budget must be > 0")
+        if engines is not None:
+            if not isinstance(engines, dict) or not engines:
+                raise ValueError("engines must be a non-empty mapping of "
+                                 "engine class to unit count")
+            for cls_name, count in engines.items():
+                if cls_name == "cpu":
+                    raise ValueError("engine class 'cpu' is implicit; "
+                                     "declare only accelerator classes")
+                if not isinstance(count, int) or count < 1:
+                    raise ValueError(
+                        f"engine class {cls_name!r} needs a positive "
+                        f"unit count, got {count!r}")
+        if variants is not None:
+            if not isinstance(variants, dict) or not variants:
+                raise ValueError("variants must be a non-empty mapping of "
+                                 "engine class to wcet")
+            for cls_name, bound in variants.items():
+                if not isinstance(bound, int) or bound < 0 \
+                        or isinstance(bound, bool):
+                    raise ValueError(
+                        f"variant wcet for engine {cls_name!r} must be "
+                        f">= 0, got {bound!r}")
         self._tiers.append(_TierSpec(name, replicas, fan_out, wcet,
-                                     service, budget))
+                                     service, budget,
+                                     engines=dict(engines) if engines
+                                     else None,
+                                     variants=dict(variants) if variants
+                                     else None))
         return self
 
     def tenant(self, name: str, rate: Optional[RateLike] = None,
@@ -424,11 +468,30 @@ class Scenario:
         """Pass-through :class:`~repro.system.HadesSystem` constructor
         options (``backend=``, ``metrics=``, ``network_latency=``,
         ``trace_maxlen=`` ...), merged over previous calls."""
-        for forbidden in ("node_ids", "owned_nodes", "costs"):
+        for forbidden in ("node_ids", "owned_nodes", "costs", "engines"):
             if forbidden in kwargs:
                 raise ValueError(f"{forbidden}= is managed by the "
                                  "scenario; use its fluent methods")
         self._options.update(kwargs)
+        return self
+
+    def engines(self, mapping: Dict[str, Dict[str, int]]) -> "Scenario":
+        """Attach accelerator pools to raw node ids (repro.hetero).
+
+        ``mapping`` is ``{node_id: {engine class: count}}`` — the same
+        shape ``HadesSystem(engines=...)`` takes.  Use it for extra
+        nodes (:meth:`nodes`) or to override a tier node's pool; the
+        per-tier ``tier(engines=...)`` axis is the fluent spelling for
+        whole tiers.  Merged over previous calls.
+        """
+        if not isinstance(mapping, dict):
+            raise ValueError("engines() takes {node_id: {class: count}}")
+        for node_id, spec in mapping.items():
+            if not isinstance(spec, dict) or not spec:
+                raise ValueError(
+                    f"node {node_id!r}: engine spec must be a non-empty "
+                    f"mapping of engine class to unit count")
+            self._engine_overrides[node_id] = dict(spec)
         return self
 
     def seed(self, seed: int) -> "Scenario":
@@ -510,6 +573,22 @@ class Scenario:
         cell = tenant_index % self._cells
         return self._node_id(cell, tier0.name, tenant_index % tier0.replicas)
 
+    def _engine_map(self) -> Dict[str, Dict[str, int]]:
+        """The deployment's platform spec: node id -> {class: count},
+        from per-tier ``engines=`` declarations merged with raw
+        :meth:`engines` overrides (overrides win per node)."""
+        engine_map: Dict[str, Dict[str, int]] = {}
+        for cell in range(self._cells):
+            for tier in self._tiers:
+                if tier.engines is None:
+                    continue
+                for replica in range(tier.replicas):
+                    node_id = self._node_id(cell, tier.name, replica)
+                    engine_map[node_id] = dict(tier.engines)
+        engine_map.update({node_id: dict(spec) for node_id, spec
+                           in self._engine_overrides.items()})
+        return engine_map
+
     def _cumulative_budgets(self) -> Optional[List[int]]:
         if any(t.budget is None for t in self._tiers):
             return None
@@ -542,7 +621,8 @@ class Scenario:
                     node_id=self._node_id(
                         cell, tier.name,
                         (tenant_index + j) % tier.replicas),
-                    actual_time=actual, attrs=attrs))
+                    actual_time=actual, attrs=attrs,
+                    variants=tier.variants))
             if previous:
                 fan = self._tiers[depth - 1].fan_out
                 for j, unit in enumerate(layer):
@@ -560,6 +640,13 @@ class Scenario:
                    if budgets and spec.deadline else None))
         for unit in previous:
             task.precede(unit, reply)
+        engine_map = self._engine_map()
+        if engine_map:
+            # Deterministic mapping of multi-version units onto the
+            # declared pools: shard replicas replaying this builder
+            # reach the identical assignment (byte-exact traces).
+            from repro.hetero.mapping import auto_map
+            auto_map(task, engine_map)
         return task.validate()
 
     def _tenant_arrivals(self, spec: _TenantSpec,
@@ -800,6 +887,9 @@ class Scenario:
                 "tenant traffic needs a horizon: run(until=...)")
         kwargs = dict(self._options)
         kwargs["costs"] = self._costs
+        engine_map = self._engine_map()
+        if engine_map:
+            kwargs["engines"] = engine_map
         return HadesSystem.scripted(self._build_into,
                                     node_ids=self.node_ids(), **kwargs)
 

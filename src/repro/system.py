@@ -111,7 +111,8 @@ class HadesSystem:
                  backend: Optional[str] = None,
                  owned_nodes: Optional[Iterable[str]] = None,
                  lazy_links: bool = False,
-                 categories: Optional[Iterable[str]] = None):
+                 categories: Optional[Iterable[str]] = None,
+                 engines: Optional[Dict[str, Dict[str, int]]] = None):
         # ``metrics`` accepts a MetricsRegistry, True (create one), or
         # None/False (disabled — the near-zero-cost default); see
         # :func:`repro.obs.resolve_metrics` for the full contract.
@@ -155,11 +156,22 @@ class HadesSystem:
         self.nodes: Dict[str, Node] = {}
         drifts = clock_drifts or {}
         extra = node_kwargs or {}
+        # ``engines`` declares heterogeneous accelerator pools per node:
+        # {"n0": {"gpu": 2}} (repro.hetero).  It is part of the scripted
+        # kwargs, so shard replicas rebuild identical pools.
+        engine_specs = engines or {}
+        unknown_engine_nodes = set(engine_specs) - set(node_ids)
+        if unknown_engine_nodes:
+            raise ValueError(
+                f"engines= names unknown node(s) "
+                f"{sorted(unknown_engine_nodes)}; node_ids are "
+                f"{sorted(node_ids)}")
         for node_id in node_ids:
             clock = HardwareClock(self.sim, drift=drifts.get(node_id, 0.0))
             node = Node(self.sim, node_id, tracer=self.tracer, clock=clock,
                         context_switch_cost=context_switch_cost,
-                        metrics=self.metrics, **extra)
+                        metrics=self.metrics,
+                        engines=engine_specs.get(node_id), **extra)
             self.nodes[node_id] = node
             self.network.add_node(node)
             if background_activities and self._owns(node_id):

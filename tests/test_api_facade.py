@@ -41,6 +41,20 @@ class TestFacade:
         assert repro.Task is deep_task
         assert repro.Campaign is deep_campaign
 
+    def test_hetero_surface_is_exported(self):
+        for name in ("EngineClass", "HeterogeneousPool", "Assignment",
+                     "map_task", "apply_assignment", "auto_map",
+                     "cpu_only", "enumerate_assignments"):
+            assert name in repro.__all__, name
+
+    def test_hetero_facade_names_are_canonical(self):
+        from repro.hetero.engines import EngineClass as deep_class
+        from repro.hetero.engines import HeterogeneousPool as deep_pool
+        from repro.hetero.mapping import auto_map as deep_auto
+        assert repro.EngineClass is deep_class
+        assert repro.HeterogeneousPool is deep_pool
+        assert repro.auto_map is deep_auto
+
     def test_minimal_deployment_through_facade_only(self):
         system = repro.HadesSystem(node_ids=["n0"],
                                    costs=repro.DispatcherCosts.zero())
@@ -141,7 +155,7 @@ class TestBackendSelection:
         assert set(responses.values()) == {10}
 
     def test_version_bumped_for_backend_surface(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
 
 class TestResolveMetrics:
